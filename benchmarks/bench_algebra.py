@@ -1,0 +1,71 @@
+"""B6 — algebra operator constructions and end-to-end algebra evaluation
+(Proposition 4.4, Propositions 4.5/4.6).
+
+Measures (a) the size and construction time of automaton-level join / union /
+projection on functional eVA, and (b) the end-to-end evaluation of an algebra
+expression over contact documents through the full pipeline, compared with
+the set-level evaluation of the same expression.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.automaton_ops import join_eva, project_eva, union_eva
+from repro.algebra.compile import evaluate_expression_setwise
+from repro.automata.transforms import va_to_eva
+from repro.regex.compiler import compile_to_va
+from repro.spanners.spanner import Spanner
+from repro.workloads.documents import contact_document
+from repro.workloads.spanners import contact_expression
+
+LEFT_PATTERN = "x{a+}b*"
+RIGHT_PATTERN = "x{a+}y{b*}"
+ALPHABET = "ab"
+
+
+@pytest.fixture(scope="module")
+def operand_evas():
+    left = va_to_eva(compile_to_va(LEFT_PATTERN, ALPHABET))
+    right = va_to_eva(compile_to_va(RIGHT_PATTERN, ALPHABET))
+    return left, right
+
+
+def test_join_construction(benchmark, operand_evas):
+    left, right = operand_evas
+    joined = benchmark(lambda: join_eva(left, right))
+    benchmark.extra_info["left_states"] = left.num_states
+    benchmark.extra_info["right_states"] = right.num_states
+    benchmark.extra_info["join_states"] = joined.num_states
+    assert joined.num_states <= left.num_states * right.num_states
+
+
+def test_union_construction(benchmark, operand_evas):
+    left, right = operand_evas
+    union = benchmark(lambda: union_eva(left, right))
+    benchmark.extra_info["union_states"] = union.num_states
+    assert union.num_states <= left.num_states + right.num_states + 1
+
+
+def test_projection_construction(benchmark, operand_evas):
+    _left, right = operand_evas
+    projected = benchmark(lambda: project_eva(right, ["y"]))
+    benchmark.extra_info["projected_states"] = projected.num_states
+    assert projected.num_states <= right.num_states
+
+
+@pytest.mark.parametrize("records", [5, 10, 20])
+def test_algebra_expression_via_compiled_automaton(benchmark, records):
+    expression = contact_expression()
+    spanner = Spanner.from_expression(expression)
+    document = contact_document(records, seed=3)
+    count = benchmark(lambda: len(spanner.evaluate(document)))
+    benchmark.extra_info["outputs"] = count
+
+
+@pytest.mark.parametrize("records", [5, 10])
+def test_algebra_expression_setwise_for_comparison(benchmark, records):
+    expression = contact_expression()
+    document = contact_document(records, seed=3)
+    count = benchmark(lambda: len(evaluate_expression_setwise(expression, document.text)))
+    benchmark.extra_info["outputs"] = count

@@ -1,0 +1,56 @@
+"""B8 — preprocessing scales linearly in the automaton size (Section 3.2).
+
+The ``O(|A| × |d|)`` bound is linear in the automaton as well as in the
+document.  The benchmark fixes the document and grows the automaton by
+taking spanners that are disjunctions of an increasing number of keyword
+extractions; the time per run should grow roughly linearly with the size of
+the compiled automaton (recorded in ``extra_info``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enumeration.evaluate import evaluate
+from repro.spanners.spanner import Spanner
+from repro.workloads.documents import server_log
+
+KEYWORDS = [
+    "timeout", "reset", "login", "logout", "miss", "full", "served", "retrying",
+]
+
+
+def disjunction_pattern(num_keywords: int) -> str:
+    """``.* (k1|k2|…) w{[a-z]+} .*`` — grows with the number of keywords."""
+    alternatives = "|".join(KEYWORDS[:num_keywords])
+    return rf".*({alternatives}) (w{{[a-z]+}}).*"
+
+
+@pytest.fixture(scope="module")
+def log_document():
+    return server_log(150, seed=21)
+
+
+@pytest.mark.parametrize("num_keywords", [1, 2, 4, 8])
+def test_preprocessing_scales_with_automaton_size(benchmark, log_document, num_keywords):
+    spanner = Spanner.from_regex(disjunction_pattern(num_keywords))
+    automaton = spanner.compiled(log_document)
+    benchmark.extra_info["automaton_states"] = automaton.num_states
+    benchmark.extra_info["automaton_transitions"] = automaton.num_transitions
+    benchmark.extra_info["document_length"] = len(log_document)
+    benchmark(lambda: evaluate(automaton, log_document, check_determinism=False))
+
+
+@pytest.mark.parametrize("num_keywords", [2, 8])
+def test_compilation_cost_scales_with_pattern(benchmark, log_document, num_keywords):
+    pattern = disjunction_pattern(num_keywords)
+    alphabet = frozenset(log_document.text)
+
+    def compile_pipeline():
+        from repro.spanners.pipeline import CompilationPipeline
+
+        automaton, _report = CompilationPipeline(pattern, alphabet).compile()
+        return automaton.num_states
+
+    states = benchmark(compile_pipeline)
+    benchmark.extra_info["det_states"] = states

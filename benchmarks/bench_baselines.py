@@ -1,0 +1,70 @@
+"""B3 — constant-delay evaluation vs. the naive and polynomial-delay baselines.
+
+The paper's motivation (Sections 1 and 3): an output set can be huge, so the
+evaluation strategy matters.  Three strategies are compared on the
+nested-capture spanner, whose output grows quadratically with the document:
+
+* the constant-delay algorithm (preprocess once, then enumerate),
+* the polynomial-delay flashlight baseline (no determinization, higher
+  per-output cost),
+* the naive baseline (materialize all runs before producing anything).
+
+The expected shape: naive explodes first, polynomial delay scales but with a
+visibly higher per-output cost, constant delay wins as outputs grow —
+mirroring the comparison with [13] discussed in the related-work section.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.naive import NaiveEnumerator
+from repro.baselines.polydelay import PolynomialDelayEnumerator
+from repro.regex.compiler import compile_to_va
+from repro.spanners.spanner import Spanner
+from repro.workloads.spanners import nested_capture_regex
+
+LENGTHS = [20, 40, 80]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    pattern = nested_capture_regex(1)
+    spanner = Spanner.from_regex(pattern)
+    va = compile_to_va(pattern, "a")
+    compiled = spanner.compiled("a")
+    return pattern, spanner, va, compiled
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_constant_delay_total_time(benchmark, workload, length):
+    _pattern, spanner, _va, _compiled = workload
+    document = "a" * length
+    benchmark.extra_info["outputs"] = (length + 1) * (length + 2) // 2
+    benchmark(lambda: sum(1 for _ in spanner.enumerate(document)))
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_polynomial_delay_total_time(benchmark, workload, length):
+    _pattern, _spanner, _va, compiled = workload
+    document = "a" * length
+    enumerator = PolynomialDelayEnumerator(compiled)
+    benchmark(lambda: sum(1 for _ in enumerator.enumerate(document)))
+
+
+@pytest.mark.parametrize("length", LENGTHS[:2])
+def test_naive_total_time(benchmark, workload, length):
+    # The naive baseline is already painful at these sizes; larger documents
+    # are excluded to keep the harness runtime reasonable.
+    _pattern, _spanner, va, _compiled = workload
+    document = "a" * length
+    enumerator = NaiveEnumerator(va)
+    benchmark(lambda: len(enumerator.evaluate(document)))
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_constant_delay_time_to_first_output(benchmark, workload, length):
+    """Time to the *first* output: linear for the constant-delay algorithm."""
+    _pattern, spanner, _va, _compiled = workload
+    document = "a" * length
+    benchmark(lambda: next(iter(spanner.enumerate(document))))

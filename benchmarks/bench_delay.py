@@ -1,0 +1,57 @@
+"""B2 — the enumeration delay does not grow with the document (Section 3.2.2).
+
+The defining property of the algorithm: after preprocessing, the time
+between two consecutive outputs depends only on the number of variables of
+the automaton, not on ``|d|``.  The benchmark enumerates a fixed number of
+outputs of the nested-capture spanner (whose output set grows quadratically
+with the document) for documents of increasing size; the per-output time
+should stay flat while the number of available outputs explodes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enumeration.enumerate import delay_profile, enumerate_mappings
+from repro.spanners.spanner import Spanner
+from repro.workloads.spanners import nested_capture_regex
+
+OUTPUTS_PER_RUN = 500
+
+
+@pytest.fixture(scope="module")
+def nested_spanner() -> Spanner:
+    return Spanner.from_regex(nested_capture_regex(1))
+
+
+@pytest.mark.parametrize("length", [100, 200, 400, 800])
+def test_delay_per_output_is_constant_in_document_length(benchmark, nested_spanner, length):
+    document = "a" * length
+    result = nested_spanner.preprocess(document)
+    benchmark.extra_info["document_length"] = length
+    benchmark.extra_info["total_outputs"] = result.count()
+
+    def consume_fixed_number_of_outputs() -> int:
+        produced = 0
+        for _ in enumerate_mappings(result):
+            produced += 1
+            if produced >= OUTPUTS_PER_RUN:
+                break
+        return produced
+
+    produced = benchmark(consume_fixed_number_of_outputs)
+    assert produced == OUTPUTS_PER_RUN
+
+
+@pytest.mark.parametrize("length", [200, 800])
+def test_maximum_observed_delay(benchmark, nested_spanner, length):
+    """Record the maximum single-output delay (reported via extra_info)."""
+    document = "a" * length
+    result = nested_spanner.preprocess(document)
+
+    def worst_delay() -> float:
+        return max(delay_profile(result, limit=OUTPUTS_PER_RUN))
+
+    maximum = benchmark(worst_delay)
+    benchmark.extra_info["document_length"] = length
+    benchmark.extra_info["max_delay_seconds"] = maximum

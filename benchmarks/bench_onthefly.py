@@ -1,0 +1,68 @@
+"""Ablation — up-front determinization vs. on-the-fly determinization.
+
+Section 4's closing remark suggests feeding the translations to Algorithm 1
+on-the-fly instead of materializing the deterministic seVA.  The benchmark
+compares, for the contact-extraction workload:
+
+* evaluation with the automaton determinized up front (compilation cost paid
+  once, excluded from the measurement),
+* evaluation of the non-deterministic eVA with lazily constructed subsets
+  (no compilation, higher per-position constant),
+* the one-shot cost "compile + evaluate" of the up-front route, which is the
+  fair comparison when a spanner is used on a single document.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.transforms import to_deterministic_sequential_eva, va_to_eva
+from repro.enumeration.evaluate import evaluate
+from repro.enumeration.onthefly import evaluate_on_the_fly
+from repro.regex.compiler import compile_to_va
+from repro.workloads.documents import contact_document
+from repro.workloads.spanners import contact_pattern
+
+RECORDS = [50, 100]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    documents = {records: contact_document(records, seed=7) for records in RECORDS}
+    alphabet = frozenset().union(*(set(doc.text) for doc in documents.values()))
+    nondeterministic = va_to_eva(compile_to_va(contact_pattern(), alphabet))
+    deterministic = to_deterministic_sequential_eva(nondeterministic)
+    return documents, nondeterministic, deterministic
+
+
+@pytest.mark.parametrize("records", RECORDS)
+def test_upfront_determinization_evaluation(benchmark, workload, records):
+    documents, _nondeterministic, deterministic = workload
+    document = documents[records]
+    benchmark.extra_info["det_states"] = deterministic.num_states
+    count = benchmark(
+        lambda: sum(1 for _ in evaluate(deterministic, document, check_determinism=False))
+    )
+    assert count == records
+
+
+@pytest.mark.parametrize("records", RECORDS)
+def test_on_the_fly_evaluation(benchmark, workload, records):
+    documents, nondeterministic, _deterministic = workload
+    document = documents[records]
+    benchmark.extra_info["eva_states"] = nondeterministic.num_states
+    count = benchmark(lambda: sum(1 for _ in evaluate_on_the_fly(nondeterministic, document)))
+    assert count == records
+
+
+@pytest.mark.parametrize("records", [50])
+def test_compile_plus_evaluate_single_document(benchmark, workload, records):
+    documents, nondeterministic, _deterministic = workload
+    document = documents[records]
+
+    def compile_then_evaluate() -> int:
+        deterministic = to_deterministic_sequential_eva(nondeterministic)
+        return sum(1 for _ in evaluate(deterministic, document, check_determinism=False))
+
+    count = benchmark(compile_then_evaluate)
+    assert count == records

@@ -1,0 +1,43 @@
+"""B1 — preprocessing time is linear in the document (Section 3.2, complexity).
+
+The paper claims Algorithm 1 preprocesses a deterministic sequential eVA
+``A`` over a document ``d`` in ``O(|A| × |d|)``.  This benchmark runs the
+preprocessing phase of the contact-extraction spanner over documents whose
+length doubles between runs: the mean time per run should roughly double as
+well (linear shape), which the pytest-benchmark table makes visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enumeration.evaluate import evaluate
+
+
+@pytest.mark.parametrize("records", [25, 50, 100, 200])
+def test_preprocessing_scales_linearly_with_document(
+    benchmark, contact_spanner, contact_documents, records
+):
+    document = contact_documents[records]
+    automaton = contact_spanner.compiled(document)
+    benchmark.extra_info["document_length"] = len(document)
+    benchmark.extra_info["automaton_size"] = automaton.size
+    benchmark(lambda: evaluate(automaton, document, check_determinism=False))
+
+
+@pytest.mark.parametrize("records", [50, 200])
+def test_preprocessing_plus_full_enumeration(
+    benchmark, contact_spanner, contact_documents, records
+):
+    """Total time O(|A|·|d| + |output|): preprocessing plus the enumeration."""
+    document = contact_documents[records]
+    automaton = contact_spanner.compiled(document)
+    benchmark.extra_info["document_length"] = len(document)
+
+    def run() -> int:
+        result = evaluate(automaton, document, check_determinism=False)
+        return sum(1 for _ in result)
+
+    outputs = benchmark(run)
+    benchmark.extra_info["outputs"] = outputs
+    assert outputs == records

@@ -1,0 +1,59 @@
+"""B5 — cost of the Section 4 translations (Propositions 4.1–4.3, 4.2 family).
+
+Two measurements:
+
+* the Proposition 4.2 family: a sequential VA with ``3ℓ+2`` states whose
+  smallest equivalent eVA needs ``2^ℓ`` extended transitions — the benchmark
+  records the measured transition counts so the exponential shape is visible;
+* functional VA → deterministic seVA (Proposition 4.3): compilation time and
+  resulting sizes for random functional VA of growing size, which stay far
+  below the ``2^n`` worst case in practice.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.transforms import to_deterministic_sequential_eva, va_to_eva
+from repro.workloads.spanners import proposition42_va, random_functional_va
+
+
+@pytest.mark.parametrize("pairs", [2, 4, 6, 8])
+def test_prop42_va_to_eva_blowup(benchmark, pairs):
+    automaton = proposition42_va(pairs)
+
+    def translate():
+        extended = va_to_eva(automaton)
+        return sum(1 for _ in extended.variable_transitions_from("c0"))
+
+    outgoing = benchmark(translate)
+    benchmark.extra_info["pairs"] = pairs
+    benchmark.extra_info["va_transitions"] = automaton.num_transitions
+    benchmark.extra_info["eva_transitions_from_initial"] = outgoing
+    assert outgoing >= 2 ** pairs
+
+
+@pytest.mark.parametrize("num_blocks,num_variables", [(4, 2), (6, 3), (8, 4)])
+def test_functional_va_to_deterministic_seva(benchmark, num_blocks, num_variables):
+    automaton = random_functional_va(
+        num_blocks=num_blocks, num_variables=num_variables, alphabet="ab", seed=11
+    )
+
+    def translate():
+        return to_deterministic_sequential_eva(automaton, assume_sequential=True)
+
+    deterministic = benchmark(translate)
+    benchmark.extra_info["va_states"] = automaton.num_states
+    benchmark.extra_info["det_seva_states"] = deterministic.num_states
+    benchmark.extra_info["det_seva_transitions"] = deterministic.num_transitions
+    # Proposition 4.3: at most 2^n states.
+    assert deterministic.num_states <= 2 ** automaton.num_states
+
+
+@pytest.mark.parametrize("pairs", [2, 3, 4])
+def test_arbitrary_va_full_pipeline(benchmark, pairs):
+    """Proposition 4.1 route: sequentialization + determinization."""
+    automaton = proposition42_va(pairs)
+    deterministic = benchmark(lambda: to_deterministic_sequential_eva(automaton))
+    benchmark.extra_info["det_seva_states"] = deterministic.num_states
+    benchmark.extra_info["det_seva_transitions"] = deterministic.num_transitions

@@ -1,0 +1,250 @@
+"""Standalone experiment report generator.
+
+Runs compact versions of the B1–B8 experiments and prints the Markdown
+tables recorded in ``EXPERIMENTS.md``.  Usage::
+
+    python benchmarks/report.py
+
+The script is deliberately lighter than the pytest-benchmark harness (single
+timed run per cell, medium-sized inputs) so that the whole report regenerates
+in about a minute on a laptop.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.automata.transforms import to_deterministic_sequential_eva, va_to_eva
+from repro.baselines.naive import NaiveEnumerator
+from repro.baselines.polydelay import PolynomialDelayEnumerator
+from repro.counting.census import CensusInstance
+from repro.counting.count import count_mappings
+from repro.enumeration.enumerate import delay_profile
+from repro.enumeration.evaluate import evaluate
+from repro.regex.compiler import compile_to_va
+from repro.spanners.spanner import Spanner
+from repro.workloads.documents import contact_document, server_log
+from repro.workloads.spanners import (
+    contact_expression,
+    contact_pattern,
+    nested_capture_regex,
+    proposition42_va,
+    random_census_nfa,
+    random_functional_va,
+)
+
+
+def timed(function, repeat: int = 3):
+    """Return (best seconds, result) over *repeat* runs."""
+    best = None
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = function()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def table(headers: list[str], rows: list[list[object]]) -> str:
+    """Render a Markdown table."""
+    lines = ["| " + " | ".join(headers) + " |", "|" + "---|" * len(headers)]
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def experiment_b1() -> str:
+    spanner = Spanner.from_regex(contact_pattern())
+    rows = []
+    for records in (50, 100, 200, 400):
+        document = contact_document(records, seed=7)
+        automaton = spanner.compiled(document)
+        seconds, _ = timed(lambda: evaluate(automaton, document, check_determinism=False))
+        rows.append([records, len(document), f"{seconds * 1e3:.2f} ms"])
+    return "### B1 — preprocessing time vs. document length\n\n" + table(
+        ["records", "|d|", "preprocessing"], rows
+    )
+
+
+def experiment_b2() -> str:
+    spanner = Spanner.from_regex(nested_capture_regex(1))
+    rows = []
+    for length in (100, 200, 400, 800):
+        document = "a" * length
+        result = spanner.preprocess(document)
+        delays = delay_profile(result, limit=500)
+        rows.append(
+            [
+                length,
+                result.count(),
+                f"{statistics.mean(delays) * 1e6:.1f} µs",
+                f"{max(delays) * 1e6:.1f} µs",
+            ]
+        )
+    return "### B2 — enumeration delay vs. document length (first 500 outputs)\n\n" + table(
+        ["|d|", "total outputs", "mean delay", "max delay"], rows
+    )
+
+
+def experiment_b3() -> str:
+    pattern = nested_capture_regex(1)
+    spanner = Spanner.from_regex(pattern)
+    va = compile_to_va(pattern, "a")
+    compiled = spanner.compiled("a")
+    rows = []
+    for length in (20, 40, 80):
+        document = "a" * length
+        outputs = (length + 1) * (length + 2) // 2
+        cd_seconds, _ = timed(lambda: sum(1 for _ in spanner.enumerate(document)), repeat=2)
+        pd_seconds, _ = timed(
+            lambda: sum(1 for _ in PolynomialDelayEnumerator(compiled).enumerate(document)),
+            repeat=2,
+        )
+        if length <= 40:
+            naive_seconds, _ = timed(lambda: len(NaiveEnumerator(va).evaluate(document)), repeat=1)
+            naive_cell = f"{naive_seconds * 1e3:.1f} ms"
+        else:
+            naive_cell = "—"
+        rows.append(
+            [
+                length,
+                outputs,
+                f"{cd_seconds * 1e3:.1f} ms",
+                f"{pd_seconds * 1e3:.1f} ms",
+                naive_cell,
+            ]
+        )
+    return "### B3 — total evaluation time: constant delay vs. baselines\n\n" + table(
+        ["|d|", "outputs", "constant delay", "poly delay [13]-style", "naive"], rows
+    )
+
+
+def experiment_b4() -> str:
+    spanner = Spanner.from_regex(nested_capture_regex(1))
+    rows = []
+    for length in (200, 400, 800, 1600):
+        document = "a" * length
+        automaton = spanner.compiled(document)
+        seconds, count = timed(
+            lambda: count_mappings(automaton, document, check_determinism=False)
+        )
+        rows.append([length, count, f"{seconds * 1e3:.2f} ms"])
+    return "### B4 — Algorithm 3 counting time vs. document length\n\n" + table(
+        ["|d|", "outputs counted", "counting time"], rows
+    )
+
+
+def experiment_b5() -> str:
+    rows = []
+    for pairs in (2, 4, 6, 8):
+        automaton = proposition42_va(pairs)
+        seconds, extended = timed(lambda: va_to_eva(automaton), repeat=1)
+        outgoing = sum(1 for _ in extended.variable_transitions_from("c0"))
+        rows.append(
+            [pairs, automaton.num_transitions, 2 ** pairs, outgoing, f"{seconds * 1e3:.1f} ms"]
+        )
+    functional_rows = []
+    for blocks, variables in ((4, 2), (6, 3), (8, 4)):
+        automaton = random_functional_va(blocks, variables, "ab", seed=11)
+        seconds, det = timed(
+            lambda: to_deterministic_sequential_eva(automaton, assume_sequential=True), repeat=1
+        )
+        functional_rows.append(
+            [
+                f"{automaton.num_states} states / {variables} vars",
+                2 ** automaton.num_states,
+                det.num_states,
+                f"{seconds * 1e3:.1f} ms",
+            ]
+        )
+    return (
+        "### B5 — translation blowups (Propositions 4.2 / 4.3)\n\n"
+        + table(
+            ["ℓ (pairs)", "VA transitions", "2^ℓ lower bound", "eVA transitions from c0", "time"],
+            rows,
+        )
+        + "\n\n"
+        + table(
+            ["functional VA", "2^n worst case", "det seVA states", "time"],
+            functional_rows,
+        )
+    )
+
+
+def experiment_b6() -> str:
+    expression = contact_expression()
+    spanner = Spanner.from_expression(expression)
+    rows = []
+    for records in (5, 10, 20, 40):
+        document = contact_document(records, seed=3)
+        seconds, outputs = timed(lambda: len(spanner.evaluate(document)), repeat=2)
+        rows.append([records, len(document), outputs, f"{seconds * 1e3:.1f} ms"])
+    return (
+        "### B6 — algebra expression (π(names ⋈ emails)) via the compiled automaton\n\n"
+        + table(["records", "|d|", "outputs", "evaluation time"], rows)
+    )
+
+
+def experiment_b7() -> str:
+    rows = []
+    nfa = random_census_nfa(5, "ab", density=0.35, seed=13)
+    for length in (4, 6, 8):
+        instance = CensusInstance(nfa, length)
+        direct_seconds, direct = timed(instance.solve_directly)
+        spanner_seconds, via_spanner = timed(instance.solve_via_spanner, repeat=1)
+        rows.append(
+            [
+                length,
+                direct,
+                f"{direct_seconds * 1e3:.2f} ms",
+                via_spanner,
+                f"{spanner_seconds * 1e3:.1f} ms",
+            ]
+        )
+    return "### B7 — Census: direct DFA count vs. the Theorem 5.2 spanner reduction\n\n" + table(
+        ["word length", "count (direct)", "time (direct)", "count (spanner)", "time (spanner)"],
+        rows,
+    )
+
+
+def experiment_b8() -> str:
+    document = server_log(150, seed=21)
+    keywords = ["timeout", "reset", "login", "logout", "miss", "full", "served", "retrying"]
+    rows = []
+    for num_keywords in (1, 2, 4, 8):
+        pattern = rf".*({'|'.join(keywords[:num_keywords])}) (w{{[a-z]+}}).*"
+        spanner = Spanner.from_regex(pattern)
+        automaton = spanner.compiled(document)
+        seconds, _ = timed(
+            lambda: evaluate(automaton, document, check_determinism=False), repeat=2
+        )
+        rows.append(
+            [num_keywords, automaton.num_states, automaton.num_transitions, f"{seconds * 1e3:.1f} ms"]
+        )
+    return "### B8 — preprocessing time vs. automaton size (fixed document)\n\n" + table(
+        ["keywords", "det seVA states", "det seVA transitions", "preprocessing"], rows
+    )
+
+
+EXPERIMENTS = [
+    experiment_b1,
+    experiment_b2,
+    experiment_b3,
+    experiment_b4,
+    experiment_b5,
+    experiment_b6,
+    experiment_b7,
+    experiment_b8,
+]
+
+
+def main() -> None:
+    for experiment in EXPERIMENTS:
+        print(experiment())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Counting spanner outputs and the Census reduction (Section 5).
+
+Run with::
+
+    python examples/census_counting.py
+
+Demonstrates Algorithm 3 (counting in O(|A| × |d|) for deterministic
+sequential eVA) and the parsimonious reduction of Theorem 5.2 from the
+Census problem — counting the words of a given length accepted by an NFA —
+to counting the outputs of a functional VA.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import Spanner
+from repro.counting.census import CensusInstance
+from repro.workloads.documents import dna_sequence
+from repro.workloads.spanners import nested_capture_regex, random_census_nfa
+
+
+def main() -> None:
+    # --- Algorithm 3 on a spanner with a quadratic output ---------------------
+    document = dna_sequence(3000, seed=9)
+    spanner = Spanner.from_regex(nested_capture_regex(1))
+
+    start = time.perf_counter()
+    count = spanner.count(document)
+    seconds = time.perf_counter() - start
+    print(
+        f"Algorithm 3: {count} output mappings over a {len(document)}-character "
+        f"document counted in {seconds:.3f}s"
+    )
+    print()
+
+    # --- the Census reduction (Theorem 5.2) -----------------------------------
+    nfa = random_census_nfa(num_states=5, alphabet="ab", density=0.4, seed=5)
+    print(f"random NFA: {nfa.num_states} states, {nfa.num_transitions} transitions")
+    for length in range(2, 7):
+        instance = CensusInstance(nfa, length)
+        automaton, census_document = instance.to_spanner()
+        direct = instance.solve_directly()
+        via_spanner = instance.solve_via_spanner()
+        assert direct == via_spanner
+        print(
+            f"  length {length}: {direct} accepted words  "
+            f"(reduction: VA with {automaton.num_states} states over a "
+            f"{len(census_document)}-character document, spanner count = {via_spanner})"
+        )
+    print()
+    print(
+        "The reduction is parsimonious: counting the spanner's outputs solves "
+        "Census, which is why counting for non-deterministic functional VA is "
+        "SpanL-complete (Theorem 5.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that legacy editable installs (``pip install -e .`` without the ``wheel``
+package, as in offline environments) keep working.
+"""
+
+from setuptools import setup
+
+setup()

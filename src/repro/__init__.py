@@ -1,0 +1,59 @@
+"""Constant delay enumeration for regular document spanners.
+
+This package is a from-scratch reproduction of the system described in
+*"Constant delay algorithms for regular document spanners"* (Florenzano,
+Riveros, Ugarte, Vansummeren and Vrgoč, 2018).  It provides:
+
+* the data model of documents, spans and mappings (:mod:`repro.core`),
+* variable-set automata and extended variable-set automata together with
+  all the translations studied in the paper (:mod:`repro.automata`),
+* regex formulas with a parser, a reference semantics and a compiler to
+  automata (:mod:`repro.regex`),
+* the spanner algebra with both set-level and automaton-level operators
+  (:mod:`repro.algebra`),
+* the constant-delay evaluation algorithm (:mod:`repro.enumeration`),
+* output counting and the Census reduction (:mod:`repro.counting`),
+* baseline enumeration algorithms used for comparison
+  (:mod:`repro.baselines`),
+* a high level :class:`~repro.spanners.Spanner` facade
+  (:mod:`repro.spanners`), and
+* synthetic workload generators used by the benchmark harness
+  (:mod:`repro.workloads`).
+
+Quickstart
+----------
+
+>>> from repro import Spanner
+>>> spanner = Spanner.from_regex(".* name{[A-Z][a-z]+} .*")
+>>> sorted(m["name"].content("hi Ada !") for m in spanner.evaluate("hi Ada !"))
+['Ada']
+"""
+
+from repro.core.documents import Document
+from repro.core.errors import (
+    CompilationError,
+    EvaluationError,
+    NotDeterministicError,
+    NotSequentialError,
+    ReproError,
+    SpanError,
+)
+from repro.core.mappings import Mapping
+from repro.core.spans import Span
+from repro.spanners.spanner import Spanner
+
+__all__ = [
+    "CompilationError",
+    "Document",
+    "EvaluationError",
+    "Mapping",
+    "NotDeterministicError",
+    "NotSequentialError",
+    "ReproError",
+    "Span",
+    "SpanError",
+    "Spanner",
+    "__version__",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,28 @@
+"""The spanner algebra: union, join and projection over spanners."""
+
+from repro.algebra.expressions import Atom, Join, Projection, SpannerExpression, UnionExpr
+from repro.algebra.operators import join_mapping_sets, project_mapping_set, union_mapping_sets
+from repro.algebra.automaton_ops import (
+    join_eva,
+    project_eva,
+    union_deterministic_eva,
+    union_eva,
+)
+from repro.algebra.compile import compile_expression, evaluate_expression_setwise
+
+__all__ = [
+    "Atom",
+    "Join",
+    "Projection",
+    "SpannerExpression",
+    "UnionExpr",
+    "compile_expression",
+    "evaluate_expression_setwise",
+    "join_eva",
+    "join_mapping_sets",
+    "project_eva",
+    "project_mapping_set",
+    "union_deterministic_eva",
+    "union_eva",
+    "union_mapping_sets",
+]

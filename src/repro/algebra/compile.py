@@ -1,0 +1,135 @@
+"""Compilation and evaluation of spanner algebra expressions.
+
+:func:`compile_expression` turns an algebra expression into a single
+extended VA by applying the automaton-level constructions of
+Proposition 4.4 bottom-up (the route taken by Propositions 4.5 and 4.6).
+The result can then be made deterministic and sequential with
+:func:`repro.automata.transforms.to_deterministic_sequential_eva` and fed
+to the constant-delay algorithm — which is exactly what the
+:class:`~repro.spanners.Spanner` facade does.
+
+:func:`evaluate_expression_setwise` is the reference evaluation: each atom
+is evaluated independently (with the exponential run-based semantics) and
+the operators are applied on materialized mapping sets.  The tests compare
+the two routes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.errors import CompilationError
+from repro.core.mappings import Mapping
+from repro.automata.analysis import is_functional
+from repro.automata.eva import ExtendedVA
+from repro.automata.transforms import va_to_eva
+from repro.automata.va import VariableSetAutomaton
+from repro.algebra.automaton_ops import join_eva, project_eva, union_eva
+from repro.algebra.expressions import Atom, Join, Projection, SpannerExpression, UnionExpr
+from repro.algebra.operators import (
+    join_mapping_sets,
+    project_mapping_set,
+    union_mapping_sets,
+)
+from repro.regex.ast import RegexNode
+from repro.regex.compiler import compile_to_va
+
+__all__ = ["compile_atom", "compile_expression", "evaluate_expression_setwise"]
+
+
+def compile_atom(atom: Atom, alphabet: Iterable[str] | None = None) -> ExtendedVA:
+    """Compile an atomic spanner into an extended VA."""
+    source = atom.source
+    if isinstance(source, RegexNode):
+        return va_to_eva(compile_to_va(source, alphabet))
+    if isinstance(source, VariableSetAutomaton):
+        return va_to_eva(source)
+    if isinstance(source, ExtendedVA):
+        return source
+    raise CompilationError(f"unsupported atom source {source!r}")
+
+
+def compile_expression(
+    expression: SpannerExpression,
+    alphabet: Iterable[str] | None = None,
+    *,
+    check_functional_joins: bool = False,
+) -> ExtendedVA:
+    """Compile an algebra expression into a single extended VA.
+
+    Parameters
+    ----------
+    expression:
+        The algebra expression.
+    alphabet:
+        Alphabet over which wildcards of regex atoms expand.
+    check_functional_joins:
+        The join construction of Proposition 4.4 is stated for *functional*
+        eVA; enabling this flag verifies the property on both join operands
+        and raises :class:`~repro.core.errors.CompilationError` otherwise.
+        The check can be exponential in the number of variables, hence the
+        default of ``False``.
+    """
+    if isinstance(expression, Atom):
+        return compile_atom(expression, alphabet)
+    if isinstance(expression, Projection):
+        child = compile_expression(
+            expression.child, alphabet, check_functional_joins=check_functional_joins
+        )
+        return project_eva(child, expression.keep)
+    if isinstance(expression, UnionExpr):
+        left = compile_expression(
+            expression.left, alphabet, check_functional_joins=check_functional_joins
+        )
+        right = compile_expression(
+            expression.right, alphabet, check_functional_joins=check_functional_joins
+        )
+        return union_eva(left, right)
+    if isinstance(expression, Join):
+        left = compile_expression(
+            expression.left, alphabet, check_functional_joins=check_functional_joins
+        )
+        right = compile_expression(
+            expression.right, alphabet, check_functional_joins=check_functional_joins
+        )
+        if check_functional_joins:
+            for side, automaton in (("left", left), ("right", right)):
+                if not is_functional(automaton):
+                    raise CompilationError(
+                        f"the {side} operand of a join is not functional; "
+                        "the automaton-level join requires functional spanners"
+                    )
+        return join_eva(left, right)
+    raise CompilationError(f"unsupported expression {expression!r}")
+
+
+def evaluate_expression_setwise(
+    expression: SpannerExpression,
+    document: object,
+    alphabet: Iterable[str] | None = None,
+) -> set[Mapping]:
+    """Reference evaluation: materialize each atom, then apply the operators.
+
+    When *alphabet* is omitted, the characters of the document are used, so
+    that wildcard atoms can be compiled.
+    """
+    if alphabet is None:
+        from repro.core.documents import as_text
+
+        alphabet = frozenset(as_text(document))
+    if isinstance(expression, Atom):
+        return set(compile_atom(expression, alphabet).evaluate(document))
+    if isinstance(expression, Projection):
+        child = evaluate_expression_setwise(expression.child, document, alphabet)
+        return project_mapping_set(child, expression.keep)
+    if isinstance(expression, UnionExpr):
+        return union_mapping_sets(
+            evaluate_expression_setwise(expression.left, document, alphabet),
+            evaluate_expression_setwise(expression.right, document, alphabet),
+        )
+    if isinstance(expression, Join):
+        return join_mapping_sets(
+            evaluate_expression_setwise(expression.left, document, alphabet),
+            evaluate_expression_setwise(expression.right, document, alphabet),
+        )
+    raise CompilationError(f"unsupported expression {expression!r}")

@@ -1,0 +1,166 @@
+"""Expression trees of the spanner algebra ``L^{π,∪,⋈}``.
+
+Atoms are basic spanners — a regex formula, a classic VA or an extended VA
+— and the operators are projection, union and natural join (Section 2 of
+the paper).  Expressions are immutable; compilation into a single automaton
+lives in :mod:`repro.algebra.compile`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.errors import CompilationError
+from repro.automata.eva import ExtendedVA
+from repro.automata.va import VariableSetAutomaton
+from repro.regex.ast import RegexNode
+from repro.regex.parser import parse_regex
+
+__all__ = ["SpannerExpression", "Atom", "Projection", "UnionExpr", "Join"]
+
+
+class SpannerExpression:
+    """Base class of spanner algebra expressions."""
+
+    __slots__ = ()
+
+    def variables(self) -> frozenset[str]:
+        """The variables the expression's output mappings may assign."""
+        raise NotImplementedError
+
+    # Operator sugar -----------------------------------------------------
+
+    def union(self, other: "SpannerExpression") -> "UnionExpr":
+        """``self ∪ other``."""
+        return UnionExpr(self, _as_expression(other))
+
+    def join(self, other: "SpannerExpression") -> "Join":
+        """``self ⋈ other``."""
+        return Join(self, _as_expression(other))
+
+    def project(self, variables: Iterable[str]) -> "Projection":
+        """``π_Y(self)``."""
+        return Projection(self, variables)
+
+    def __or__(self, other: "SpannerExpression") -> "UnionExpr":
+        return self.union(other)
+
+    def __and__(self, other: "SpannerExpression") -> "Join":
+        return self.join(other)
+
+    def atoms(self) -> tuple["Atom", ...]:
+        """The atomic sub-expressions, left to right."""
+        raise NotImplementedError
+
+    def operator_count(self) -> int:
+        """The number of algebra operators in the expression."""
+        raise NotImplementedError
+
+    def size(self) -> int:
+        """``|e|``: total size of the atoms plus the number of operators."""
+        return sum(atom.source_size() for atom in self.atoms()) + self.operator_count()
+
+
+def _as_expression(value: object) -> "SpannerExpression":
+    if isinstance(value, SpannerExpression):
+        return value
+    if isinstance(value, (str, RegexNode, VariableSetAutomaton, ExtendedVA)):
+        return Atom(value)
+    raise CompilationError(f"cannot interpret {value!r} as a spanner expression")
+
+
+class Atom(SpannerExpression):
+    """An atomic spanner: a regex formula, a VA or an extended VA."""
+
+    __slots__ = ("source", "_regex")
+
+    def __init__(self, source: str | RegexNode | VariableSetAutomaton | ExtendedVA) -> None:
+        if isinstance(source, str):
+            source = parse_regex(source)
+        if not isinstance(source, (RegexNode, VariableSetAutomaton, ExtendedVA)):
+            raise CompilationError(f"unsupported atom source {source!r}")
+        self.source = source
+
+    def variables(self) -> frozenset[str]:
+        return frozenset(self.source.variables())
+
+    def atoms(self) -> tuple["Atom", ...]:
+        return (self,)
+
+    def operator_count(self) -> int:
+        return 0
+
+    def source_size(self) -> int:
+        """The paper's ``|α|`` for this atom."""
+        if isinstance(self.source, RegexNode):
+            return self.source.size()
+        return self.source.size
+
+    def __repr__(self) -> str:
+        return f"Atom({self.source!r})"
+
+
+class Projection(SpannerExpression):
+    """``π_Y(e)``: keep only the variables in ``Y``."""
+
+    __slots__ = ("child", "keep")
+
+    def __init__(self, child: SpannerExpression, variables: Iterable[str]) -> None:
+        self.child = _as_expression(child)
+        self.keep = frozenset(variables)
+
+    def variables(self) -> frozenset[str]:
+        return self.child.variables() & self.keep
+
+    def atoms(self) -> tuple["Atom", ...]:
+        return self.child.atoms()
+
+    def operator_count(self) -> int:
+        return 1 + self.child.operator_count()
+
+    def __repr__(self) -> str:
+        return f"Projection({self.child!r}, {sorted(self.keep)!r})"
+
+
+class UnionExpr(SpannerExpression):
+    """``e1 ∪ e2``."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: SpannerExpression, right: SpannerExpression) -> None:
+        self.left = _as_expression(left)
+        self.right = _as_expression(right)
+
+    def variables(self) -> frozenset[str]:
+        return self.left.variables() | self.right.variables()
+
+    def atoms(self) -> tuple["Atom", ...]:
+        return self.left.atoms() + self.right.atoms()
+
+    def operator_count(self) -> int:
+        return 1 + self.left.operator_count() + self.right.operator_count()
+
+    def __repr__(self) -> str:
+        return f"UnionExpr({self.left!r}, {self.right!r})"
+
+
+class Join(SpannerExpression):
+    """``e1 ⋈ e2``: the natural join on the shared variables."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: SpannerExpression, right: SpannerExpression) -> None:
+        self.left = _as_expression(left)
+        self.right = _as_expression(right)
+
+    def variables(self) -> frozenset[str]:
+        return self.left.variables() | self.right.variables()
+
+    def atoms(self) -> tuple["Atom", ...]:
+        return self.left.atoms() + self.right.atoms()
+
+    def operator_count(self) -> int:
+        return 1 + self.left.operator_count() + self.right.operator_count()
+
+    def __repr__(self) -> str:
+        return f"Join({self.left!r}, {self.right!r})"

@@ -1,0 +1,65 @@
+"""Set-level algebra operators over sets of mappings.
+
+These implement the semantics of the spanner algebra (Section 2 of the
+paper) directly on materialized mapping sets:
+
+* ``⋈`` — natural join of compatible mappings,
+* ``∪`` — union,
+* ``π_Y`` — projection onto a set of variables.
+
+They serve both as the reference implementation against which the
+automaton-level constructions (:mod:`repro.algebra.automaton_ops`) are
+tested, and as a fallback evaluation strategy for small inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.mappings import Mapping
+
+__all__ = ["join_mapping_sets", "union_mapping_sets", "project_mapping_set"]
+
+
+def join_mapping_sets(left: Iterable[Mapping], right: Iterable[Mapping]) -> set[Mapping]:
+    """``M1 ⋈ M2``: unions of all compatible pairs of mappings.
+
+    The pairs are matched on their shared variables.  A simple hash join on
+    the shared-variable restriction keeps the common case close to linear
+    instead of quadratic.
+    """
+    left = list(left)
+    right = list(right)
+    if not left or not right:
+        return set()
+
+    shared = frozenset.intersection(
+        *(mapping.domain() for mapping in left)
+    ) & frozenset.intersection(*(mapping.domain() for mapping in right))
+
+    # Bucket the right side by its values on the shared variables that are
+    # guaranteed to be present on both sides; residual compatibility (on
+    # variables present only in some mappings) is re-checked pairwise.
+    buckets: dict[tuple, list[Mapping]] = {}
+    for mapping in right:
+        key = tuple(sorted((variable, mapping[variable]) for variable in shared))
+        buckets.setdefault(key, []).append(mapping)
+
+    result: set[Mapping] = set()
+    for mapping in left:
+        key = tuple(sorted((variable, mapping[variable]) for variable in shared))
+        for candidate in buckets.get(key, ()):
+            if mapping.compatible(candidate):
+                result.add(mapping.union(candidate))
+    return result
+
+
+def union_mapping_sets(left: Iterable[Mapping], right: Iterable[Mapping]) -> set[Mapping]:
+    """``M1 ∪ M2``."""
+    return set(left) | set(right)
+
+
+def project_mapping_set(mappings: Iterable[Mapping], variables: Iterable[str]) -> set[Mapping]:
+    """``π_Y(M)``: restrict every mapping to the variables in *variables*."""
+    keep = frozenset(variables)
+    return {mapping.restrict(keep) for mapping in mappings}

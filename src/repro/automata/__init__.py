@@ -1,0 +1,18 @@
+"""Automata substrate: variable-set automata, extended VA, NFAs and DFAs."""
+
+from repro.automata.eva import ExtendedVA
+from repro.automata.markers import Marker, MarkerSet, close, open_
+from repro.automata.nfa import NFA
+from repro.automata.dfa import DFA
+from repro.automata.va import VariableSetAutomaton
+
+__all__ = [
+    "DFA",
+    "ExtendedVA",
+    "Marker",
+    "MarkerSet",
+    "NFA",
+    "VariableSetAutomaton",
+    "close",
+    "open_",
+]

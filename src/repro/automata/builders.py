@@ -1,0 +1,125 @@
+"""Fluent builders for variable-set automata and extended VA.
+
+Hand-writing automata (in tests, examples and workload generators) with the
+imperative ``add_*`` methods is verbose.  The builders below provide a
+compact, chainable construction style:
+
+>>> from repro.automata.builders import EVABuilder
+>>> eva = (
+...     EVABuilder()
+...     .initial(0)
+...     .final(2)
+...     .capture(0, ["x"], [], 1)
+...     .letter(1, "a", 1)
+...     .capture(1, [], ["x"], 2)
+...     .build()
+... )
+>>> sorted(eva.variables())
+['x']
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.automata.eva import ExtendedVA
+from repro.automata.markers import MarkerSet, close, open_
+from repro.automata.va import VariableSetAutomaton
+
+__all__ = ["VABuilder", "EVABuilder", "marker_set"]
+
+State = Hashable
+
+
+def marker_set(opens: Iterable[str] = (), closes: Iterable[str] = ()) -> MarkerSet:
+    """Build a marker set from variable names to open and close."""
+    markers = [open_(variable) for variable in opens]
+    markers.extend(close(variable) for variable in closes)
+    return MarkerSet(markers)
+
+
+class VABuilder:
+    """Chainable builder for :class:`VariableSetAutomaton`."""
+
+    def __init__(self) -> None:
+        self._automaton = VariableSetAutomaton()
+
+    def state(self, state: State) -> "VABuilder":
+        """Declare a state (states used in transitions are added implicitly)."""
+        self._automaton.add_state(state)
+        return self
+
+    def initial(self, state: State) -> "VABuilder":
+        """Declare the initial state."""
+        self._automaton.set_initial(state)
+        return self
+
+    def final(self, *states: State) -> "VABuilder":
+        """Declare one or more accepting states."""
+        for state in states:
+            self._automaton.add_final(state)
+        return self
+
+    def letter(self, source: State, symbols: str, target: State) -> "VABuilder":
+        """Add letter transitions for every character in *symbols*."""
+        for symbol in symbols:
+            self._automaton.add_letter_transition(source, symbol, target)
+        return self
+
+    def open(self, source: State, variable: str, target: State) -> "VABuilder":
+        """Add a transition opening *variable*."""
+        self._automaton.add_open_transition(source, variable, target)
+        return self
+
+    def close(self, source: State, variable: str, target: State) -> "VABuilder":
+        """Add a transition closing *variable*."""
+        self._automaton.add_close_transition(source, variable, target)
+        return self
+
+    def build(self) -> VariableSetAutomaton:
+        """Return the constructed automaton."""
+        return self._automaton
+
+
+class EVABuilder:
+    """Chainable builder for :class:`ExtendedVA`."""
+
+    def __init__(self) -> None:
+        self._automaton = ExtendedVA()
+
+    def state(self, state: State) -> "EVABuilder":
+        """Declare a state (states used in transitions are added implicitly)."""
+        self._automaton.add_state(state)
+        return self
+
+    def initial(self, state: State) -> "EVABuilder":
+        """Declare the initial state."""
+        self._automaton.set_initial(state)
+        return self
+
+    def final(self, *states: State) -> "EVABuilder":
+        """Declare one or more accepting states."""
+        for state in states:
+            self._automaton.add_final(state)
+        return self
+
+    def letter(self, source: State, symbols: str, target: State) -> "EVABuilder":
+        """Add letter transitions for every character in *symbols*."""
+        for symbol in symbols:
+            self._automaton.add_letter_transition(source, symbol, target)
+        return self
+
+    def capture(
+        self,
+        source: State,
+        opens: Iterable[str],
+        closes: Iterable[str],
+        target: State,
+    ) -> "EVABuilder":
+        """Add an extended variable transition opening/closing variables."""
+        self._automaton.add_variable_transition(source, marker_set(opens, closes), target)
+        return self
+
+    def build(self) -> ExtendedVA:
+        """Return the constructed automaton."""
+        return self._automaton

@@ -1,0 +1,220 @@
+"""Deterministic finite automata (DFA).
+
+Used as the target of the NFA subset construction, mainly to count accepted
+words of a fixed length (the Census problem of Theorem 5.2) by dynamic
+programming, where determinism guarantees each word is counted once.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+from repro.core.errors import CompilationError
+
+__all__ = ["DFA"]
+
+State = Hashable
+
+
+class DFA:
+    """A deterministic finite automaton (partial transition function)."""
+
+    def __init__(self) -> None:
+        self._states: set[State] = set()
+        self._initial: State | None = None
+        self._finals: set[State] = set()
+        # state -> symbol -> target
+        self._transitions: dict[State, dict[str, State]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def add_state(self, state: State) -> State:
+        """Register *state* (idempotent) and return it."""
+        self._states.add(state)
+        return state
+
+    def set_initial(self, state: State) -> None:
+        """Declare the (unique) initial state."""
+        self.add_state(state)
+        self._initial = state
+
+    def add_final(self, state: State) -> None:
+        """Mark *state* as accepting."""
+        self.add_state(state)
+        self._finals.add(state)
+
+    def add_transition(self, source: State, symbol: str, target: State) -> None:
+        """Add the transition ``δ(source, symbol) = target``."""
+        if not isinstance(symbol, str) or len(symbol) != 1:
+            raise CompilationError(f"DFA transitions need single-character symbols, got {symbol!r}")
+        existing = self._transitions.get(source, {}).get(symbol)
+        if existing is not None and existing != target:
+            raise CompilationError(
+                f"state {source!r} already has a transition on {symbol!r} to {existing!r}"
+            )
+        self.add_state(source)
+        self.add_state(target)
+        self._transitions.setdefault(source, {})[symbol] = target
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def states(self) -> frozenset[State]:
+        """All states."""
+        return frozenset(self._states)
+
+    @property
+    def initial(self) -> State:
+        """The initial state."""
+        if self._initial is None:
+            raise CompilationError("the DFA has no initial state")
+        return self._initial
+
+    @property
+    def finals(self) -> frozenset[State]:
+        """The accepting states."""
+        return frozenset(self._finals)
+
+    def alphabet(self) -> frozenset[str]:
+        """All symbols mentioned by transitions."""
+        found: set[str] = set()
+        for per_symbol in self._transitions.values():
+            found.update(per_symbol)
+        return frozenset(found)
+
+    def successor(self, state: State, symbol: str) -> State | None:
+        """``δ(state, symbol)`` or ``None`` if undefined."""
+        return self._transitions.get(state, {}).get(symbol)
+
+    def transitions(self) -> Iterator[tuple[State, str, State]]:
+        """Iterate over all transitions."""
+        for source, per_symbol in self._transitions.items():
+            for symbol, target in per_symbol.items():
+                yield source, symbol, target
+
+    @property
+    def num_states(self) -> int:
+        """The number of states."""
+        return len(self._states)
+
+    @property
+    def num_transitions(self) -> int:
+        """The number of transitions."""
+        return sum(len(per_symbol) for per_symbol in self._transitions.values())
+
+    # ------------------------------------------------------------------ #
+    # Semantics
+    # ------------------------------------------------------------------ #
+
+    def accepts(self, word: str) -> bool:
+        """Whether the DFA accepts *word*."""
+        if self._initial is None:
+            return False
+        state = self._initial
+        for symbol in word:
+            state = self.successor(state, symbol)
+            if state is None:
+                return False
+        return state in self._finals
+
+    def count_words_of_length(self, length: int) -> int:
+        """Count the words of exactly *length* characters that are accepted.
+
+        Dynamic programming over ``(position, state)``; determinism ensures
+        each word contributes exactly once.
+        """
+        if length < 0:
+            raise ValueError(f"length must be non-negative, got {length}")
+        if self._initial is None:
+            return 0
+        counts: dict[State, int] = {self._initial: 1}
+        for _ in range(length):
+            successor_counts: dict[State, int] = {}
+            for state, count in counts.items():
+                for target in self._transitions.get(state, {}).values():
+                    successor_counts[target] = successor_counts.get(target, 0) + count
+            counts = successor_counts
+            if not counts:
+                return 0
+        return sum(count for state, count in counts.items() if state in self._finals)
+
+    def count_words_up_to_length(self, length: int) -> int:
+        """Count the accepted words of length at most *length*."""
+        return sum(self.count_words_of_length(n) for n in range(length + 1))
+
+    # ------------------------------------------------------------------ #
+    # Transformations
+    # ------------------------------------------------------------------ #
+
+    def rename_states(self) -> "DFA":
+        """Return a copy with states renamed to consecutive integers."""
+        ordered = sorted(self._states, key=repr)
+        naming = {state: index for index, state in enumerate(ordered)}
+        renamed = DFA()
+        for state in self._states:
+            renamed.add_state(naming[state])
+        if self._initial is not None:
+            renamed.set_initial(naming[self._initial])
+        for state in self._finals:
+            renamed.add_final(naming[state])
+        for source, symbol, target in self.transitions():
+            renamed.add_transition(naming[source], symbol, naming[target])
+        return renamed
+
+    def minimize(self) -> "DFA":
+        """Return an equivalent minimal DFA (Moore partition refinement).
+
+        The automaton is first completed with a sink state so that the
+        classical refinement applies, and the sink is removed afterwards.
+        """
+        if self._initial is None:
+            raise CompilationError("cannot minimize a DFA without an initial state")
+        alphabet = sorted(self.alphabet())
+        sink = ("sink",)
+        states = set(self._states) | {sink}
+
+        def total_successor(state: State, symbol: str) -> State:
+            if state == sink:
+                return sink
+            return self._transitions.get(state, {}).get(symbol, sink)
+
+        # Initial partition: finals vs non-finals.
+        partition: list[set[State]] = [set(self._finals), states - set(self._finals)]
+        partition = [block for block in partition if block]
+        changed = True
+        while changed:
+            changed = False
+            block_of = {state: index for index, block in enumerate(partition) for state in block}
+            new_partition: list[set[State]] = []
+            for block in partition:
+                groups: dict[tuple, set[State]] = {}
+                for state in block:
+                    signature = tuple(block_of[total_successor(state, symbol)] for symbol in alphabet)
+                    groups.setdefault(signature, set()).add(state)
+                if len(groups) > 1:
+                    changed = True
+                new_partition.extend(groups.values())
+            partition = new_partition
+
+        block_of = {state: index for index, block in enumerate(partition) for state in block}
+        minimal = DFA()
+        sink_block = block_of[sink]
+        for state in self._states:
+            if block_of[state] != sink_block or state in self._finals:
+                minimal.add_state(block_of[state])
+        minimal.set_initial(block_of[self._initial])
+        for final in self._finals:
+            minimal.add_final(block_of[final])
+        for source, symbol, target in self.transitions():
+            if block_of[source] == sink_block or block_of[target] == sink_block:
+                continue
+            if minimal.successor(block_of[source], symbol) is None:
+                minimal.add_transition(block_of[source], symbol, block_of[target])
+        return minimal
+
+    def __repr__(self) -> str:
+        return f"DFA(states={self.num_states}, transitions={self.num_transitions})"

@@ -1,0 +1,198 @@
+"""Variable markers: the ``x⊢`` (open) and ``⊣x`` (close) symbols.
+
+Variable-set automata manipulate capture variables through *markers*: the
+symbol ``x⊢`` opens variable ``x`` and ``⊣x`` closes it.  Extended VA group
+several markers into a single transition label, represented here by
+:class:`MarkerSet` (a thin frozenset wrapper with validation and pretty
+printing).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+__all__ = ["Marker", "MarkerSet", "open_", "close"]
+
+
+class Marker:
+    """An open or close marker for a capture variable.
+
+    Markers are immutable, hashable and totally ordered.  The ordering puts
+    every open marker before every close marker and is otherwise
+    alphabetical on the variable name; this mirrors the canonical marker
+    order used in the paper's eVA → VA translation (proof of Theorem 3.1).
+
+    >>> open_("x")
+    Marker.open('x')
+    >>> str(close("x"))
+    '⊣x'
+    """
+
+    __slots__ = ("_variable", "_is_open")
+
+    def __init__(self, variable: str, is_open: bool) -> None:
+        if not isinstance(variable, str) or not variable:
+            raise ValueError(f"marker variable must be a non-empty string, got {variable!r}")
+        self._variable = variable
+        self._is_open = bool(is_open)
+
+    @property
+    def variable(self) -> str:
+        """The captured variable this marker refers to."""
+        return self._variable
+
+    @property
+    def is_open(self) -> bool:
+        """True for ``x⊢`` markers, False for ``⊣x`` markers."""
+        return self._is_open
+
+    @property
+    def is_close(self) -> bool:
+        """True for ``⊣x`` markers."""
+        return not self._is_open
+
+    def dual(self) -> "Marker":
+        """The matching marker of the other kind for the same variable."""
+        return Marker(self._variable, not self._is_open)
+
+    def _sort_key(self) -> tuple[int, str]:
+        # All open markers sort before all close markers (canonical order).
+        return (0 if self._is_open else 1, self._variable)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Marker):
+            return NotImplemented
+        return self._variable == other._variable and self._is_open == other._is_open
+
+    def __lt__(self, other: "Marker") -> bool:
+        if not isinstance(other, Marker):
+            return NotImplemented
+        return self._sort_key() < other._sort_key()
+
+    def __le__(self, other: "Marker") -> bool:
+        if not isinstance(other, Marker):
+            return NotImplemented
+        return self._sort_key() <= other._sort_key()
+
+    def __gt__(self, other: "Marker") -> bool:
+        if not isinstance(other, Marker):
+            return NotImplemented
+        return self._sort_key() > other._sort_key()
+
+    def __ge__(self, other: "Marker") -> bool:
+        if not isinstance(other, Marker):
+            return NotImplemented
+        return self._sort_key() >= other._sort_key()
+
+    def __hash__(self) -> int:
+        return hash((self._variable, self._is_open))
+
+    def __str__(self) -> str:
+        return f"{self._variable}⊢" if self._is_open else f"⊣{self._variable}"
+
+    def __repr__(self) -> str:
+        kind = "open" if self._is_open else "close"
+        return f"Marker.{kind}({self._variable!r})"
+
+
+def open_(variable: str) -> Marker:
+    """Shorthand for the open marker ``x⊢``."""
+    return Marker(variable, True)
+
+
+def close(variable: str) -> Marker:
+    """Shorthand for the close marker ``⊣x``."""
+    return Marker(variable, False)
+
+
+class MarkerSet:
+    """An immutable, non-empty-by-convention set of markers.
+
+    Extended VA transitions are labelled by such sets.  The empty set is
+    representable (it is convenient as the label of "no variable action" in
+    partial-run encodings) but :meth:`non_empty` lets callers enforce the
+    paper's requirement that transition labels are non-empty.
+    """
+
+    __slots__ = ("_markers",)
+
+    def __init__(self, markers: Iterable[Marker] = ()) -> None:
+        markers = frozenset(markers)
+        for marker in markers:
+            if not isinstance(marker, Marker):
+                raise TypeError(f"expected Marker instances, got {marker!r}")
+        self._markers = markers
+
+    @classmethod
+    def of(cls, *markers: Marker) -> "MarkerSet":
+        """Build a marker set from positional marker arguments."""
+        return cls(markers)
+
+    @property
+    def markers(self) -> frozenset[Marker]:
+        """The underlying frozenset of markers."""
+        return self._markers
+
+    def non_empty(self) -> bool:
+        """Whether the set contains at least one marker."""
+        return bool(self._markers)
+
+    def variables(self) -> frozenset[str]:
+        """The variables mentioned by the markers in this set."""
+        return frozenset(marker.variable for marker in self._markers)
+
+    def opened(self) -> frozenset[str]:
+        """Variables opened by this set."""
+        return frozenset(m.variable for m in self._markers if m.is_open)
+
+    def closed(self) -> frozenset[str]:
+        """Variables closed by this set."""
+        return frozenset(m.variable for m in self._markers if m.is_close)
+
+    def restrict(self, variables: Iterable[str]) -> "MarkerSet":
+        """Keep only markers whose variable is in *variables*."""
+        keep = set(variables)
+        return MarkerSet(m for m in self._markers if m.variable in keep)
+
+    def union(self, other: "MarkerSet") -> "MarkerSet":
+        """The union of two marker sets."""
+        return MarkerSet(self._markers | other._markers)
+
+    def isdisjoint(self, other: "MarkerSet") -> bool:
+        """Whether the two sets share no marker."""
+        return self._markers.isdisjoint(other._markers)
+
+    def canonical_order(self) -> list[Marker]:
+        """Markers sorted in the canonical (open-before-close) order."""
+        return sorted(self._markers)
+
+    def __contains__(self, marker: object) -> bool:
+        return marker in self._markers
+
+    def __iter__(self) -> Iterator[Marker]:
+        return iter(self._markers)
+
+    def __len__(self) -> int:
+        return len(self._markers)
+
+    def __bool__(self) -> bool:
+        return bool(self._markers)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MarkerSet):
+            return self._markers == other._markers
+        if isinstance(other, frozenset):
+            return self._markers == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._markers)
+
+    def __str__(self) -> str:
+        if not self._markers:
+            return "{}"
+        return "{" + ", ".join(str(m) for m in self.canonical_order()) + "}"
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(m) for m in self.canonical_order())
+        return f"MarkerSet([{inner}])"

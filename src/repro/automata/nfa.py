@@ -1,0 +1,230 @@
+"""Plain nondeterministic finite automata (NFA).
+
+NFAs are used as a substrate in two places:
+
+* the Census problem of Theorem 5.2 (counting words of a given length
+  accepted by an NFA), and
+* the variable-free fragments of regex formulas.
+
+The implementation supports ε-transitions, the subset construction to a
+:class:`~repro.automata.dfa.DFA`, and exact word counting by dynamic
+programming over the determinized automaton.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+from repro.core.errors import CompilationError
+
+__all__ = ["NFA"]
+
+State = Hashable
+EPSILON = None  # transition label for ε-moves
+
+
+class NFA:
+    """A nondeterministic finite automaton with ε-transitions."""
+
+    def __init__(self) -> None:
+        self._states: set[State] = set()
+        self._initial: State | None = None
+        self._finals: set[State] = set()
+        # state -> label (symbol or None for ε) -> set of targets
+        self._transitions: dict[State, dict[object, set[State]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def add_state(self, state: State) -> State:
+        """Register *state* (idempotent) and return it."""
+        self._states.add(state)
+        return state
+
+    def set_initial(self, state: State) -> None:
+        """Declare the (unique) initial state."""
+        self.add_state(state)
+        self._initial = state
+
+    def add_final(self, state: State) -> None:
+        """Mark *state* as accepting."""
+        self.add_state(state)
+        self._finals.add(state)
+
+    def add_transition(self, source: State, symbol: str, target: State) -> None:
+        """Add a transition on a single-character symbol."""
+        if not isinstance(symbol, str) or len(symbol) != 1:
+            raise CompilationError(f"NFA transitions need single-character symbols, got {symbol!r}")
+        self.add_state(source)
+        self.add_state(target)
+        self._transitions.setdefault(source, {}).setdefault(symbol, set()).add(target)
+
+    def add_epsilon_transition(self, source: State, target: State) -> None:
+        """Add an ε-transition."""
+        self.add_state(source)
+        self.add_state(target)
+        self._transitions.setdefault(source, {}).setdefault(EPSILON, set()).add(target)
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def states(self) -> frozenset[State]:
+        """All states."""
+        return frozenset(self._states)
+
+    @property
+    def initial(self) -> State:
+        """The initial state."""
+        if self._initial is None:
+            raise CompilationError("the NFA has no initial state")
+        return self._initial
+
+    @property
+    def finals(self) -> frozenset[State]:
+        """The accepting states."""
+        return frozenset(self._finals)
+
+    def alphabet(self) -> frozenset[str]:
+        """All symbols mentioned by non-ε transitions."""
+        found: set[str] = set()
+        for per_label in self._transitions.values():
+            found.update(label for label in per_label if label is not EPSILON)
+        return frozenset(found)
+
+    def transitions(self) -> Iterator[tuple[State, object, State]]:
+        """Iterate over all transitions (ε transitions carry label ``None``)."""
+        for source, per_label in self._transitions.items():
+            for label, targets in per_label.items():
+                for target in targets:
+                    yield source, label, target
+
+    @property
+    def num_states(self) -> int:
+        """The number of states."""
+        return len(self._states)
+
+    @property
+    def num_transitions(self) -> int:
+        """The number of transitions."""
+        return sum(1 for _ in self.transitions())
+
+    # ------------------------------------------------------------------ #
+    # Semantics
+    # ------------------------------------------------------------------ #
+
+    def epsilon_closure(self, states: Iterable[State]) -> frozenset[State]:
+        """The set of states reachable from *states* through ε-transitions."""
+        closure = set(states)
+        frontier = list(closure)
+        while frontier:
+            state = frontier.pop()
+            for target in self._transitions.get(state, {}).get(EPSILON, ()):
+                if target not in closure:
+                    closure.add(target)
+                    frontier.append(target)
+        return frozenset(closure)
+
+    def step(self, states: Iterable[State], symbol: str) -> frozenset[State]:
+        """One symbol step (including the closing ε-closure)."""
+        direct: set[State] = set()
+        for state in states:
+            direct.update(self._transitions.get(state, {}).get(symbol, ()))
+        return self.epsilon_closure(direct)
+
+    def accepts(self, word: str) -> bool:
+        """Whether the NFA accepts *word*."""
+        if self._initial is None:
+            return False
+        current = self.epsilon_closure({self._initial})
+        for symbol in word:
+            current = self.step(current, symbol)
+            if not current:
+                return False
+        return bool(current & self._finals)
+
+    def accepted_words(self, length: int) -> Iterator[str]:
+        """Enumerate (in lexicographic order) the accepted words of *length*.
+
+        Exponential; used only as ground truth in tests of the Census
+        reduction.
+        """
+        alphabet = sorted(self.alphabet())
+        if self._initial is None:
+            return
+
+        def explore(prefix: str, states: frozenset[State]) -> Iterator[str]:
+            if len(prefix) == length:
+                if states & self._finals:
+                    yield prefix
+                return
+            for symbol in alphabet:
+                successors = self.step(states, symbol)
+                if successors:
+                    yield from explore(prefix + symbol, successors)
+
+        yield from explore("", self.epsilon_closure({self._initial}))
+
+    def count_words_of_length(self, length: int) -> int:
+        """The number of distinct words of the given *length* accepted.
+
+        This is the Census problem of Theorem 5.2.  Counting over the NFA
+        directly would overcount words with several accepting runs, so the
+        count is computed by dynamic programming over the determinization.
+        """
+        return self.determinize().count_words_of_length(length)
+
+    # ------------------------------------------------------------------ #
+    # Transformations
+    # ------------------------------------------------------------------ #
+
+    def determinize(self) -> "DFA":
+        """Subset construction into an equivalent DFA."""
+        from repro.automata.dfa import DFA
+
+        dfa = DFA()
+        if self._initial is None:
+            raise CompilationError("cannot determinize an NFA without an initial state")
+        alphabet = sorted(self.alphabet())
+        start = self.epsilon_closure({self._initial})
+        dfa.set_initial(start)
+        if start & self._finals:
+            dfa.add_final(start)
+        frontier = [start]
+        seen = {start}
+        while frontier:
+            subset = frontier.pop()
+            for symbol in alphabet:
+                successor = self.step(subset, symbol)
+                if not successor:
+                    continue
+                dfa.add_transition(subset, symbol, successor)
+                if successor not in seen:
+                    seen.add(successor)
+                    if successor & self._finals:
+                        dfa.add_final(successor)
+                    frontier.append(successor)
+        return dfa
+
+    def reverse(self) -> "NFA":
+        """The reverse automaton (accepts the mirror language)."""
+        reversed_nfa = NFA()
+        for state in self._states:
+            reversed_nfa.add_state(state)
+        fresh_initial = ("reverse-initial",)
+        reversed_nfa.set_initial(fresh_initial)
+        for final in self._finals:
+            reversed_nfa.add_epsilon_transition(fresh_initial, final)
+        if self._initial is not None:
+            reversed_nfa.add_final(self._initial)
+        for source, label, target in self.transitions():
+            if label is EPSILON:
+                reversed_nfa.add_epsilon_transition(target, source)
+            else:
+                reversed_nfa.add_transition(target, label, source)
+        return reversed_nfa
+
+    def __repr__(self) -> str:
+        return f"NFA(states={self.num_states}, transitions={self.num_transitions})"

@@ -1,0 +1,11 @@
+"""Baseline enumeration algorithms used for comparison in the benchmarks."""
+
+from repro.baselines.naive import NaiveEnumerator, naive_evaluate
+from repro.baselines.polydelay import PolynomialDelayEnumerator, polynomial_delay_evaluate
+
+__all__ = [
+    "NaiveEnumerator",
+    "PolynomialDelayEnumerator",
+    "naive_evaluate",
+    "polynomial_delay_evaluate",
+]

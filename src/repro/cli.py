@@ -1,0 +1,131 @@
+"""Command line interface: ``python -m repro``.
+
+Three subcommands expose the library's main operations on files (or stdin):
+
+``extract``
+    Evaluate a regex-formula spanner over a document and print one line per
+    output mapping (text, JSON, or paper span notation).
+
+``count``
+    Count the output mappings with Algorithm 3 (no enumeration).
+
+``inspect``
+    Compile a spanner and print the pipeline report and the size statistics
+    of the resulting deterministic sequential eVA.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Iterable
+
+from repro.core.documents import Document
+from repro.io.serialization import mapping_to_dict
+from repro.spanners.spanner import Spanner
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Constant-delay evaluation of regular document spanners.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("pattern", help="regex formula with captures, e.g. '.*name{[A-Z][a-z]+} .*'")
+        sub.add_argument(
+            "document",
+            nargs="?",
+            help="path to the input document (omit to read from stdin)",
+        )
+
+    extract = subparsers.add_parser("extract", help="enumerate the output mappings")
+    add_common(extract)
+    extract.add_argument(
+        "--format",
+        choices=["text", "json", "spans"],
+        default="text",
+        help="output format: extracted text (default), JSON records, or paper span notation",
+    )
+    extract.add_argument(
+        "--limit", type=int, default=None, help="stop after this many mappings"
+    )
+
+    count = subparsers.add_parser("count", help="count the output mappings (Algorithm 3)")
+    add_common(count)
+
+    inspect = subparsers.add_parser("inspect", help="show the compilation pipeline report")
+    add_common(inspect)
+
+    return parser
+
+
+def _read_document(path: str | None, stdin: Iterable[str] | None = None) -> Document:
+    if path is None:
+        text = "".join(stdin if stdin is not None else sys.stdin)
+        return Document(text, name="<stdin>")
+    return Document.from_file(path)
+
+
+def _run_extract(args: argparse.Namespace, document: Document, out) -> int:
+    spanner = Spanner.from_regex(args.pattern)
+    produced = 0
+    for mapping in spanner.enumerate(document):
+        if args.format == "json":
+            print(json.dumps(mapping_to_dict(mapping, document), sort_keys=True), file=out)
+        elif args.format == "spans":
+            print(mapping.paper_notation(), file=out)
+        else:
+            print(json.dumps(mapping.contents(document), sort_keys=True), file=out)
+        produced += 1
+        if args.limit is not None and produced >= args.limit:
+            break
+    return 0
+
+
+def _run_count(args: argparse.Namespace, document: Document, out) -> int:
+    spanner = Spanner.from_regex(args.pattern)
+    print(spanner.count(document), file=out)
+    return 0
+
+
+def _run_inspect(args: argparse.Namespace, document: Document, out) -> int:
+    spanner = Spanner.from_regex(args.pattern)
+    report = spanner.compilation_report(document)
+    statistics = spanner.statistics(document)
+    print(report.summary(), file=out)
+    print(file=out)
+    print(
+        f"deterministic sequential eVA: {statistics.num_states} states, "
+        f"{statistics.num_transitions} transitions, "
+        f"{statistics.num_variables} variables, "
+        f"alphabet size {statistics.alphabet_size}",
+        file=out,
+    )
+    print(
+        f"deterministic={statistics.deterministic} "
+        f"sequential={statistics.sequential} functional={statistics.functional}",
+        file=out,
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None, stdin: Iterable[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    document = _read_document(args.document, stdin)
+    if args.command == "extract":
+        return _run_extract(args, document, out)
+    if args.command == "count":
+        return _run_count(args, document, out)
+    if args.command == "inspect":
+        return _run_inspect(args, document, out)
+    parser.error(f"unknown command {args.command!r}")
+    return 2

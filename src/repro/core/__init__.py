@@ -1,0 +1,27 @@
+"""Fundamental data model: documents, spans, mappings and errors."""
+
+from repro.core.documents import Document
+from repro.core.errors import (
+    CompilationError,
+    EvaluationError,
+    NotDeterministicError,
+    NotSequentialError,
+    ParseError,
+    ReproError,
+    SpanError,
+)
+from repro.core.mappings import Mapping
+from repro.core.spans import Span
+
+__all__ = [
+    "CompilationError",
+    "Document",
+    "EvaluationError",
+    "Mapping",
+    "NotDeterministicError",
+    "NotSequentialError",
+    "ParseError",
+    "ReproError",
+    "Span",
+    "SpanError",
+]

@@ -1,0 +1,142 @@
+"""Documents: the strings from which information is extracted.
+
+A document is simply a finite string over a finite alphabet.  Most library
+entry points accept either a plain ``str`` or a :class:`Document`; the class
+exists to carry convenience helpers (alphabet extraction, span slicing,
+position arithmetic) and to make benchmark workloads self-describing.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Iterator
+
+from repro.core.errors import SpanError
+from repro.core.spans import Span
+
+__all__ = ["Document", "as_text"]
+
+
+def as_text(document: object) -> str:
+    """Normalize a document argument (``str`` or :class:`Document`) to ``str``."""
+    if isinstance(document, str):
+        return document
+    if isinstance(document, Document):
+        return document.text
+    text = getattr(document, "text", None)
+    if isinstance(text, str):
+        return text
+    raise TypeError(f"expected a document (str or Document), got {document!r}")
+
+
+class Document:
+    """A wrapper around an input string.
+
+    >>> doc = Document("John<j@g.be>, Jane<555-12>")
+    >>> len(doc)
+    26
+    >>> doc[Span(0, 4)]
+    'John'
+    """
+
+    __slots__ = ("_text", "_name")
+
+    def __init__(self, text: str, name: str | None = None) -> None:
+        if not isinstance(text, str):
+            raise TypeError(f"document text must be a string, got {text!r}")
+        self._text = text
+        self._name = name
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_file(cls, path: str | os.PathLike, encoding: str = "utf-8") -> "Document":
+        """Load a document from a text file."""
+        with open(path, "r", encoding=encoding) as handle:
+            return cls(handle.read(), name=os.fspath(path))
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def text(self) -> str:
+        """The underlying string."""
+        return self._text
+
+    @property
+    def name(self) -> str | None:
+        """An optional human-readable name (e.g. the source path)."""
+        return self._name
+
+    def __len__(self) -> int:
+        return len(self._text)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._text)
+
+    def alphabet(self) -> frozenset[str]:
+        """The set of symbols occurring in the document."""
+        return frozenset(self._text)
+
+    def __getitem__(self, key: object) -> str:
+        if isinstance(key, Span):
+            return key.content(self._text)
+        if isinstance(key, (int, slice)):
+            return self._text[key]
+        raise TypeError(f"cannot index a document with {key!r}")
+
+    def span(self) -> Span:
+        """The span covering the whole document."""
+        return Span(0, len(self._text))
+
+    def spans(self) -> Iterator[Span]:
+        """Iterate over every span of the document (``O(|d|²)`` of them)."""
+        n = len(self._text)
+        for begin in range(n + 1):
+            for end in range(begin, n + 1):
+                yield Span(begin, end)
+
+    def find_all(self, needle: str) -> Iterator[Span]:
+        """Yield the spans of every (possibly overlapping) occurrence of *needle*."""
+        if needle == "":
+            raise SpanError("cannot search for the empty string")
+        start = self._text.find(needle)
+        while start != -1:
+            yield Span(start, start + len(needle))
+            start = self._text.find(needle, start + 1)
+
+    def lines(self) -> Iterator[tuple[Span, str]]:
+        """Yield ``(span, line)`` pairs, one per line (newline excluded)."""
+        begin = 0
+        for line in self._text.splitlines(keepends=True):
+            stripped = line.rstrip("\n")
+            yield Span(begin, begin + len(stripped)), stripped
+            begin += len(line)
+
+    # ------------------------------------------------------------------ #
+    # Dunder protocol
+    # ------------------------------------------------------------------ #
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Document):
+            return self._text == other._text
+        if isinstance(other, str):
+            return self._text == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._text)
+
+    def __repr__(self) -> str:
+        preview = self._text if len(self._text) <= 40 else self._text[:37] + "..."
+        if self._name:
+            return f"Document({preview!r}, name={self._name!r})"
+        return f"Document({preview!r})"
+
+
+def concatenate(documents: Iterable[Document | str], separator: str = "") -> Document:
+    """Concatenate several documents into one."""
+    return Document(separator.join(as_text(d) for d in documents))

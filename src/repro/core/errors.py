@@ -1,0 +1,62 @@
+"""Exception hierarchy used across the library.
+
+Every exception raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CompilationError",
+    "EvaluationError",
+    "NotDeterministicError",
+    "NotFunctionalError",
+    "NotSequentialError",
+    "ParseError",
+    "ReproError",
+    "SpanError",
+]
+
+
+class ReproError(Exception):
+    """Base class of all exceptions raised by the library."""
+
+
+class SpanError(ReproError, ValueError):
+    """Raised when a span is malformed or does not fit a document."""
+
+
+class ParseError(ReproError, ValueError):
+    """Raised when a regex formula cannot be parsed."""
+
+
+class CompilationError(ReproError):
+    """Raised when a spanner cannot be compiled into the requested form."""
+
+
+class EvaluationError(ReproError):
+    """Raised when a spanner cannot be evaluated over a document."""
+
+
+class NotSequentialError(EvaluationError):
+    """Raised when an algorithm requires a sequential automaton.
+
+    The constant-delay algorithm of the paper (Section 3.2) requires the
+    extended VA to be *sequential*: every accepting run opens and closes
+    variables consistently.  Non-sequential automata must first be
+    sequentialized (see :mod:`repro.automata.transforms`).
+    """
+
+
+class NotDeterministicError(EvaluationError):
+    """Raised when an algorithm requires a deterministic extended VA.
+
+    Determinism guarantees that distinct accepting runs produce distinct
+    mappings, which is what makes duplicate-free enumeration possible
+    without an explicit deduplication step.
+    """
+
+
+class NotFunctionalError(EvaluationError):
+    """Raised when an algorithm requires a functional automaton."""

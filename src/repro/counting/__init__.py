@@ -1,0 +1,6 @@
+"""Counting the outputs of document spanners (Section 5 of the paper)."""
+
+from repro.counting.count import count_mappings
+from repro.counting.census import CensusInstance, census_count, census_to_spanner
+
+__all__ = ["CensusInstance", "census_count", "census_to_spanner", "count_mappings"]

@@ -1,0 +1,16 @@
+"""The constant-delay evaluation engine (Algorithms 1 and 2 of the paper)."""
+
+from repro.enumeration.dag import BOTTOM, DagNode
+from repro.enumeration.evaluate import ResultDag, evaluate
+from repro.enumeration.enumerate import delay_profile, enumerate_mappings
+from repro.enumeration.lazylist import LazyList
+
+__all__ = [
+    "BOTTOM",
+    "DagNode",
+    "LazyList",
+    "ResultDag",
+    "delay_profile",
+    "enumerate_mappings",
+    "evaluate",
+]

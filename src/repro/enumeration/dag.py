@@ -1,0 +1,58 @@
+"""Nodes of the reverse-dual DAG built by Algorithm 1.
+
+Each node corresponds to one *annotated variable transition* ``(S, i)`` of
+the product automaton of the paper's Section 3.2.1: ``S`` is the set of
+markers executed and ``i`` the 0-based document position at which they were
+executed.  A node's adjacency list points to the nodes representing the
+*previous* variable transitions of the runs it extends; the distinguished
+sink :data:`BOTTOM` plays the role of the initial product state.
+"""
+
+from __future__ import annotations
+
+from repro.automata.markers import MarkerSet
+from repro.enumeration.lazylist import LazyList
+
+__all__ = ["BOTTOM", "Bottom", "DagNode"]
+
+
+class Bottom:
+    """The unique sink node ⊥ (reaching it completes one output mapping)."""
+
+    __slots__ = ()
+    _instance: "Bottom | None" = None
+
+    def __new__(cls) -> "Bottom":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "⊥"
+
+
+BOTTOM = Bottom()
+
+
+class DagNode:
+    """A DAG node labelled ``(S, i)`` with an adjacency :class:`LazyList`.
+
+    ``markers`` is the marker set executed, ``position`` the 0-based
+    document position (the number of characters read before the markers
+    were executed), and ``adjacency`` the lazy list of predecessor nodes.
+    """
+
+    __slots__ = ("markers", "position", "adjacency")
+
+    def __init__(self, markers: MarkerSet, position: int, adjacency: LazyList) -> None:
+        self.markers = markers
+        self.position = position
+        self.adjacency = adjacency
+
+    @property
+    def content(self) -> tuple[MarkerSet, int]:
+        """The pair ``(S, i)`` (paper: ``node.content``)."""
+        return (self.markers, self.position)
+
+    def __repr__(self) -> str:
+        return f"DagNode({self.markers}, {self.position})"

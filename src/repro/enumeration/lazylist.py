@@ -1,0 +1,123 @@
+"""The lazy singly-linked list used by Algorithm 1.
+
+The paper's evaluation algorithm relies on a list data structure with three
+*O(1)* update operations — ``add`` (prepend), ``lazycopy`` (share the
+underlying cells) and ``append`` (splice another list at the end) — plus
+standard iteration.  Cells are immutable once created, with one exception:
+a cell whose ``next`` pointer is still ``None`` may have it set **once**
+(this is what ``append`` does).  This single-assignment discipline is what
+makes ``lazycopy`` safe: a copy records its own ``(start, end)`` pair and
+iteration stops at ``end``, so later appends to the original list never
+leak into the copy.
+
+The implementation asserts the single-assignment discipline; a violation
+indicates the evaluation algorithm was fed a non-deterministic automaton.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["LazyList"]
+
+
+class _Cell:
+    """One cell of the singly linked list."""
+
+    __slots__ = ("node", "next")
+
+    def __init__(self, node: object, next_cell: "_Cell | None") -> None:
+        self.node = node
+        self.next = next_cell
+
+
+class LazyList:
+    """A list represented by ``(start, end)`` pointers into shared cells."""
+
+    __slots__ = ("_start", "_end")
+
+    def __init__(self) -> None:
+        self._start: _Cell | None = None
+        self._end: _Cell | None = None
+
+    # ------------------------------------------------------------------ #
+    # The three O(1) update operations of the paper
+    # ------------------------------------------------------------------ #
+
+    def add(self, node: object) -> None:
+        """Insert *node* at the beginning of the list (paper: ``add``)."""
+        cell = _Cell(node, self._start)
+        if self._start is None:
+            self._end = cell
+        self._start = cell
+
+    def lazycopy(self) -> "LazyList":
+        """Return a copy sharing the underlying cells (paper: ``lazycopy``).
+
+        The copy is not affected by later ``add``/``append`` calls on this
+        list.
+        """
+        copy = LazyList()
+        copy._start = self._start
+        copy._end = self._end
+        return copy
+
+    def append(self, other: "LazyList") -> None:
+        """Splice *other* at the end of this list (paper: ``append``).
+
+        After the call this list also contains the elements of *other*; the
+        cells are shared, not copied.
+        """
+        if other._start is None:
+            return
+        if self._start is None:
+            self._start = other._start
+            self._end = other._end
+            return
+        end = self._end
+        assert end is not None
+        if end.next is not None:
+            raise RuntimeError(
+                "LazyList.append would overwrite a next pointer; "
+                "this indicates the evaluated automaton is not deterministic"
+            )
+        end.next = other._start
+        self._end = other._end
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def is_empty(self) -> bool:
+        """Whether the list has no elements."""
+        return self._start is None
+
+    def __bool__(self) -> bool:
+        return self._start is not None
+
+    def __iter__(self) -> Iterator[object]:
+        """Iterate over the payloads from ``start`` up to and including ``end``."""
+        cell = self._start
+        end = self._end
+        while cell is not None:
+            yield cell.node
+            if cell is end:
+                return
+            cell = cell.next
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+    def head(self) -> object:
+        """The first element (raises ``IndexError`` on an empty list)."""
+        if self._start is None:
+            raise IndexError("head of an empty LazyList")
+        return self._start.node
+
+    def to_list(self) -> list[object]:
+        """Materialize the payloads into a plain Python list."""
+        return list(self)
+
+    def __repr__(self) -> str:
+        preview = self.to_list()
+        return f"LazyList({preview!r})"

@@ -1,0 +1,21 @@
+"""Serialization of automata and mappings (JSON and Graphviz)."""
+
+from repro.io.serialization import (
+    eva_from_dict,
+    eva_to_dict,
+    load_automaton,
+    mapping_to_dict,
+    save_automaton,
+    va_from_dict,
+    va_to_dict,
+)
+
+__all__ = [
+    "eva_from_dict",
+    "eva_to_dict",
+    "load_automaton",
+    "mapping_to_dict",
+    "save_automaton",
+    "va_from_dict",
+    "va_to_dict",
+]

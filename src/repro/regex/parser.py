@@ -1,0 +1,252 @@
+"""Parser for the concrete regex-formula syntax.
+
+The accepted syntax extends classic regular expressions with the paper's
+variable capture construct ``x{γ}``:
+
+==============  ====================================================
+``abc``         literal characters (including spaces)
+``.``           any single character of the alphabet
+``[a-z0-9_]``   character class (ranges allowed), ``[^...]`` negated
+``\\d \\w \\s``    digit / word / whitespace classes
+``(γ)``         grouping, ``()`` is ε
+``γ1|γ2``       disjunction
+``γ* γ+ γ?``    repetition / optional
+``name{γ}``     capture the span matched by ``γ`` into variable ``name``
+``\\x``          escape a special character
+==============  ====================================================
+
+A capture variable is an identifier (``[A-Za-z_][A-Za-z0-9_]*``) that is
+*immediately* followed by ``{``; identifiers not followed by ``{`` are read
+as plain literal characters, so ``abc*`` means ``ab`` followed by ``c*``.
+Literal braces must be escaped (``\\{``, ``\\}``).
+"""
+
+from __future__ import annotations
+
+import string
+
+from repro.core.errors import ParseError
+from repro.regex.ast import (
+    AnyChar,
+    Capture,
+    CharClass,
+    Epsilon,
+    Literal,
+    Optional,
+    Plus,
+    RegexNode,
+    Star,
+    Union,
+    concat,
+)
+
+__all__ = ["parse_regex"]
+
+_IDENTIFIER_START = set(string.ascii_letters + "_")
+_IDENTIFIER_CHARS = _IDENTIFIER_START | set(string.digits)
+
+_ESCAPE_SHORTCUTS = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "0": "\0",
+}
+
+_CLASS_SHORTCUTS = {
+    "d": CharClass(string.digits),
+    "w": CharClass(string.ascii_letters + string.digits + "_"),
+    "s": CharClass(" \t\n\r\x0b\f"),
+}
+
+
+class _Parser:
+    """Recursive-descent parser over the regex source string."""
+
+    def __init__(self, source: str) -> None:
+        self._source = source
+        self._position = 0
+
+    # -------------------------- low-level helpers -------------------- #
+
+    def _peek(self, offset: int = 0) -> str | None:
+        index = self._position + offset
+        if index < len(self._source):
+            return self._source[index]
+        return None
+
+    def _advance(self) -> str:
+        character = self._source[self._position]
+        self._position += 1
+        return character
+
+    def _expect(self, character: str) -> None:
+        if self._peek() != character:
+            raise ParseError(
+                f"expected {character!r} at position {self._position} in {self._source!r}"
+            )
+        self._advance()
+
+    def _error(self, message: str) -> ParseError:
+        return ParseError(f"{message} at position {self._position} in {self._source!r}")
+
+    # -------------------------- grammar rules ------------------------ #
+
+    def parse(self) -> RegexNode:
+        node = self._parse_union()
+        if self._position != len(self._source):
+            raise self._error(f"unexpected character {self._peek()!r}")
+        return node
+
+    def _parse_union(self) -> RegexNode:
+        branches = [self._parse_concat()]
+        while self._peek() == "|":
+            self._advance()
+            branches.append(self._parse_concat())
+        if len(branches) == 1:
+            return branches[0]
+        return Union(branches)
+
+    def _parse_concat(self) -> RegexNode:
+        parts: list[RegexNode] = []
+        while True:
+            character = self._peek()
+            if character is None or character in "|)}":
+                break
+            parts.append(self._parse_repetition())
+        if not parts:
+            return Epsilon()
+        return concat(*parts)
+
+    def _parse_repetition(self) -> RegexNode:
+        node = self._parse_atom()
+        while True:
+            character = self._peek()
+            if character == "*":
+                self._advance()
+                node = Star(node)
+            elif character == "+":
+                self._advance()
+                node = Plus(node)
+            elif character == "?":
+                self._advance()
+                node = Optional(node)
+            else:
+                return node
+
+    def _parse_atom(self) -> RegexNode:
+        character = self._peek()
+        if character is None:
+            raise self._error("unexpected end of pattern")
+        if character == "(":
+            self._advance()
+            inner = self._parse_union()
+            self._expect(")")
+            return inner
+        if character == "[":
+            return self._parse_char_class()
+        if character == ".":
+            self._advance()
+            return AnyChar()
+        if character == "\\":
+            return self._parse_escape()
+        if character in "*+?":
+            raise self._error(f"repetition operator {character!r} with nothing to repeat")
+        if character in ")}|":
+            raise self._error(f"unexpected character {character!r}")
+        if character == "{":
+            raise self._error("unexpected '{' (captures are written name{...}; escape literal braces)")
+        capture = self._try_parse_capture()
+        if capture is not None:
+            return capture
+        self._advance()
+        return Literal(character)
+
+    def _try_parse_capture(self) -> RegexNode | None:
+        """Parse ``name{γ}`` if the cursor is at an identifier followed by '{'."""
+        start = self._position
+        if self._peek() not in _IDENTIFIER_START:
+            return None
+        length = 0
+        while True:
+            character = self._peek(length)
+            if character is not None and character in _IDENTIFIER_CHARS:
+                length += 1
+            else:
+                break
+        if self._peek(length) != "{":
+            return None
+        variable = self._source[start:start + length]
+        self._position = start + length
+        self._expect("{")
+        inner = self._parse_union()
+        self._expect("}")
+        return Capture(variable, inner)
+
+    def _parse_escape(self) -> RegexNode:
+        self._expect("\\")
+        character = self._peek()
+        if character is None:
+            raise self._error("dangling escape character")
+        self._advance()
+        if character in _CLASS_SHORTCUTS:
+            return _CLASS_SHORTCUTS[character]
+        if character in _ESCAPE_SHORTCUTS:
+            return Literal(_ESCAPE_SHORTCUTS[character])
+        return Literal(character)
+
+    def _parse_char_class(self) -> RegexNode:
+        self._expect("[")
+        negated = False
+        if self._peek() == "^":
+            negated = True
+            self._advance()
+        characters: set[str] = set()
+        if self._peek() == "]":
+            # Allow a literal ']' as the first member, like POSIX classes do.
+            characters.add("]")
+            self._advance()
+        while True:
+            character = self._peek()
+            if character is None:
+                raise self._error("unterminated character class")
+            if character == "]":
+                self._advance()
+                break
+            if character == "\\":
+                self._advance()
+                escaped = self._peek()
+                if escaped is None:
+                    raise self._error("dangling escape in character class")
+                self._advance()
+                if escaped in _CLASS_SHORTCUTS:
+                    characters.update(_CLASS_SHORTCUTS[escaped].characters)
+                    continue
+                character = _ESCAPE_SHORTCUTS.get(escaped, escaped)
+            else:
+                self._advance()
+            if self._peek() == "-" and self._peek(1) not in (None, "]"):
+                self._advance()
+                upper = self._advance()
+                if upper == "\\":
+                    upper = self._advance()
+                if ord(upper) < ord(character):
+                    raise self._error(f"invalid range {character}-{upper}")
+                characters.update(chr(code) for code in range(ord(character), ord(upper) + 1))
+            else:
+                characters.add(character)
+        if not characters and not negated:
+            raise self._error("empty character class")
+        return CharClass(characters, negated=negated)
+
+
+def parse_regex(source: str | RegexNode) -> RegexNode:
+    """Parse a regex formula from its concrete syntax.
+
+    Passing an already-built :class:`~repro.regex.ast.RegexNode` returns it
+    unchanged, which lets higher-level APIs accept both forms.
+    """
+    if isinstance(source, RegexNode):
+        return source
+    if not isinstance(source, str):
+        raise ParseError(f"expected a pattern string, got {source!r}")
+    return _Parser(source).parse()

@@ -1,0 +1,136 @@
+"""Reference semantics of regex formulas (Table 1 of the paper).
+
+This is a direct, set-based implementation of the two-layer semantics
+``[γ]_d`` / ``⟦γ⟧_d``.  It materializes every intermediate relation and is
+exponential in the worst case; its purpose is to serve as ground truth for
+the automata-based evaluation algorithms, which the property-based tests
+compare against it on small inputs.
+"""
+
+from __future__ import annotations
+
+from repro.core.documents import as_text
+from repro.core.mappings import Mapping
+from repro.core.spans import Span
+from repro.regex.ast import (
+    AnyChar,
+    Capture,
+    CharClass,
+    Concat,
+    Epsilon,
+    Literal,
+    Optional,
+    Plus,
+    RegexNode,
+    Star,
+    Union,
+)
+from repro.regex.parser import parse_regex
+
+__all__ = ["evaluate_regex", "match_relation"]
+
+# A "match relation" is the paper's [γ]_d: a set of (span, mapping) pairs.
+MatchRelation = frozenset[tuple[Span, Mapping]]
+
+
+def evaluate_regex(pattern: str | RegexNode, document: object) -> set[Mapping]:
+    """``⟦γ⟧_d``: the mappings produced by matching *pattern* against the whole document."""
+    node = parse_regex(pattern)
+    text = as_text(document)
+    whole = Span(0, len(text))
+    return {mapping for span, mapping in match_relation(node, text) if span == whole}
+
+
+def match_relation(pattern: str | RegexNode, document: object) -> MatchRelation:
+    """``[γ]_d``: all (span, mapping) pairs produced by sub-matches of *pattern*."""
+    node = parse_regex(pattern)
+    text = as_text(document)
+    return _relation(node, text, {})
+
+
+def _relation(node: RegexNode, text: str, cache: dict[RegexNode, MatchRelation]) -> MatchRelation:
+    if node in cache:
+        return cache[node]
+    result = _compute_relation(node, text, cache)
+    cache[node] = result
+    return result
+
+
+def _compute_relation(
+    node: RegexNode, text: str, cache: dict[RegexNode, MatchRelation]
+) -> MatchRelation:
+    n = len(text)
+    if isinstance(node, Epsilon):
+        return frozenset((Span(i, i), Mapping.EMPTY) for i in range(n + 1))
+    if isinstance(node, Literal):
+        return frozenset(
+            (Span(i, i + 1), Mapping.EMPTY) for i in range(n) if text[i] == node.symbol
+        )
+    if isinstance(node, AnyChar):
+        return frozenset((Span(i, i + 1), Mapping.EMPTY) for i in range(n))
+    if isinstance(node, CharClass):
+        return frozenset(
+            (Span(i, i + 1), Mapping.EMPTY)
+            for i in range(n)
+            if (text[i] in node.characters) != node.negated
+        )
+    if isinstance(node, Capture):
+        inner = _relation(node.inner, text, cache)
+        return frozenset(
+            (span, Mapping.single(node.variable, span).union(mapping))
+            for span, mapping in inner
+            if node.variable not in mapping
+        )
+    if isinstance(node, Concat):
+        current = _relation(node.parts[0], text, cache)
+        for part in node.parts[1:]:
+            current = _combine(current, _relation(part, text, cache))
+        return current
+    if isinstance(node, Union):
+        result: set[tuple[Span, Mapping]] = set()
+        for part in node.parts:
+            result |= _relation(part, text, cache)
+        return frozenset(result)
+    if isinstance(node, Star):
+        return _star(_relation(node.inner, text, cache), text)
+    if isinstance(node, Plus):
+        inner = _relation(node.inner, text, cache)
+        return _combine(inner, _star(inner, text))
+    if isinstance(node, Optional):
+        epsilon = frozenset((Span(i, i), Mapping.EMPTY) for i in range(n + 1))
+        return _relation(node.inner, text, cache) | epsilon
+    raise TypeError(f"unknown regex node {node!r}")
+
+
+def _combine(left: MatchRelation, right: MatchRelation) -> MatchRelation:
+    """The concatenation rule of Table 1.
+
+    Pairs combine when the spans are adjacent and the mapping domains are
+    disjoint (the paper requires disjointness, not mere compatibility).
+    """
+    by_begin: dict[int, list[tuple[Span, Mapping]]] = {}
+    for span, mapping in right:
+        by_begin.setdefault(span.begin, []).append((span, mapping))
+    result: set[tuple[Span, Mapping]] = set()
+    for left_span, left_mapping in left:
+        for right_span, right_mapping in by_begin.get(left_span.end, ()):
+            if left_mapping.domain() & right_mapping.domain():
+                continue
+            result.add(
+                (left_span.concatenate(right_span), left_mapping.union(right_mapping))
+            )
+    return frozenset(result)
+
+
+def _star(inner: MatchRelation, text: str) -> MatchRelation:
+    """The Kleene-star rule: ``[γ*] = [ε] ∪ [γ] ∪ [γ²] ∪ …`` computed as a fixpoint."""
+    n = len(text)
+    result: set[tuple[Span, Mapping]] = {(Span(i, i), Mapping.EMPTY) for i in range(n + 1)}
+    frontier = frozenset(result)
+    while True:
+        extended = _combine(inner, frontier)
+        new = extended - result
+        if not new:
+            return frozenset(result)
+        result |= new
+        frontier = new

@@ -1,0 +1,6 @@
+"""High-level public API: the :class:`Spanner` facade and its pipeline."""
+
+from repro.spanners.pipeline import CompilationPipeline, CompilationReport, StageReport
+from repro.spanners.spanner import Spanner
+
+__all__ = ["CompilationPipeline", "CompilationReport", "Spanner", "StageReport"]

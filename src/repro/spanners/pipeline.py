@@ -1,0 +1,186 @@
+"""The compilation pipeline from a spanner specification to a deterministic seVA.
+
+The pipeline mirrors Section 4 of the paper: regex formulas compile to VA,
+VA convert to extended VA, algebra expressions compile bottom-up with the
+operator constructions of Proposition 4.4, and the result is
+sequentialized (if needed) and determinized so that the constant-delay
+algorithm applies.  Each stage's size and wall-clock time are recorded in a
+:class:`CompilationReport`, which the benchmarks use to reproduce the
+paper's translation-cost statements (Propositions 4.1–4.6).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.errors import CompilationError
+from repro.automata.analysis import AutomatonStatistics, is_sequential, statistics, trim
+from repro.automata.eva import ExtendedVA
+from repro.automata.transforms import (
+    determinize,
+    relabel_states,
+    sequentialize,
+    va_to_eva,
+)
+from repro.automata.va import VariableSetAutomaton
+from repro.algebra.compile import compile_expression
+from repro.algebra.expressions import SpannerExpression
+from repro.regex.ast import RegexNode
+from repro.regex.compiler import compile_to_va
+from repro.regex.parser import parse_regex
+
+__all__ = ["CompilationPipeline", "CompilationReport", "StageReport"]
+
+SpannerSource = "RegexNode | VariableSetAutomaton | ExtendedVA | SpannerExpression | str"
+
+
+@dataclass(frozen=True)
+class StageReport:
+    """Size and timing of one pipeline stage."""
+
+    name: str
+    num_states: int
+    num_transitions: int
+    seconds: float
+
+    @property
+    def size(self) -> int:
+        """States plus transitions after this stage."""
+        return self.num_states + self.num_transitions
+
+
+@dataclass
+class CompilationReport:
+    """The full record of one compilation run."""
+
+    stages: list[StageReport] = field(default_factory=list)
+
+    def record(self, name: str, automaton: VariableSetAutomaton | ExtendedVA, seconds: float) -> None:
+        """Append a stage entry."""
+        self.stages.append(
+            StageReport(name, automaton.num_states, automaton.num_transitions, seconds)
+        )
+
+    @property
+    def total_seconds(self) -> float:
+        """Total compilation time across stages."""
+        return sum(stage.seconds for stage in self.stages)
+
+    @property
+    def final_stage(self) -> StageReport:
+        """The last stage (the deterministic sequential eVA)."""
+        if not self.stages:
+            raise CompilationError("the pipeline has not produced any stage yet")
+        return self.stages[-1]
+
+    def summary(self) -> str:
+        """A human-readable multi-line summary (used by the examples)."""
+        lines = ["stage                     states  transitions   seconds"]
+        for stage in self.stages:
+            lines.append(
+                f"{stage.name:<24} {stage.num_states:>7} {stage.num_transitions:>12} "
+                f"{stage.seconds:>9.4f}"
+            )
+        return "\n".join(lines)
+
+
+class CompilationPipeline:
+    """Compile any supported spanner specification into a deterministic seVA."""
+
+    def __init__(
+        self,
+        source: object,
+        alphabet: Iterable[str] = (),
+        *,
+        check_functional_joins: bool = False,
+    ) -> None:
+        if isinstance(source, str):
+            source = parse_regex(source)
+        if not isinstance(
+            source, (RegexNode, VariableSetAutomaton, ExtendedVA, SpannerExpression)
+        ):
+            raise CompilationError(f"unsupported spanner source {source!r}")
+        self._source = source
+        self._base_alphabet = frozenset(alphabet)
+        self._check_functional_joins = check_functional_joins
+
+    @property
+    def source(self) -> object:
+        """The original spanner specification."""
+        return self._source
+
+    def source_needs_alphabet(self) -> bool:
+        """Whether compilation output depends on the document alphabet."""
+        if isinstance(self._source, RegexNode):
+            return self._source.needs_alphabet()
+        if isinstance(self._source, SpannerExpression):
+            return any(
+                isinstance(atom.source, RegexNode) and atom.source.needs_alphabet()
+                for atom in self._source.atoms()
+            )
+        return False
+
+    def compile(
+        self, extra_alphabet: Iterable[str] = ()
+    ) -> tuple[ExtendedVA, CompilationReport]:
+        """Run the full pipeline and return the deterministic seVA plus a report."""
+        alphabet = self._base_alphabet | frozenset(extra_alphabet)
+        report = CompilationReport()
+
+        extended, assume_sequential = self._to_extended(alphabet, report)
+
+        start = time.perf_counter()
+        sequential = assume_sequential or is_sequential(extended)
+        if not sequential:
+            extended = sequentialize(extended)
+            report.record("sequentialize", extended, time.perf_counter() - start)
+        else:
+            extended = trim(extended)
+            report.record("trim", extended, time.perf_counter() - start)
+
+        start = time.perf_counter()
+        if not extended.is_deterministic():
+            extended = determinize(extended)
+            extended = relabel_states(extended)
+            report.record("determinize", extended, time.perf_counter() - start)
+        else:
+            extended = relabel_states(extended)
+            report.record("relabel", extended, time.perf_counter() - start)
+        return extended, report
+
+    def _to_extended(
+        self, alphabet: frozenset[str], report: CompilationReport
+    ) -> tuple[ExtendedVA, bool]:
+        """Produce the initial extended VA and whether it is known sequential."""
+        source = self._source
+        if isinstance(source, RegexNode):
+            start = time.perf_counter()
+            automaton = compile_to_va(source, alphabet)
+            report.record("regex→VA", automaton, time.perf_counter() - start)
+            start = time.perf_counter()
+            extended = va_to_eva(automaton)
+            report.record("VA→eVA", extended, time.perf_counter() - start)
+            return extended, False
+        if isinstance(source, VariableSetAutomaton):
+            start = time.perf_counter()
+            extended = va_to_eva(source)
+            report.record("VA→eVA", extended, time.perf_counter() - start)
+            return extended, False
+        if isinstance(source, ExtendedVA):
+            report.record("eVA", source, 0.0)
+            return source, False
+        if isinstance(source, SpannerExpression):
+            start = time.perf_counter()
+            extended = compile_expression(
+                source, alphabet, check_functional_joins=self._check_functional_joins
+            )
+            report.record("algebra→eVA", extended, time.perf_counter() - start)
+            return extended, False
+        raise CompilationError(f"unsupported spanner source {source!r}")
+
+    def statistics(self, extra_alphabet: Iterable[str] = ()) -> AutomatonStatistics:
+        """Statistics of the compiled deterministic seVA."""
+        compiled, _report = self.compile(extra_alphabet)
+        return statistics(compiled, check_properties=True)

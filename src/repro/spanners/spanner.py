@@ -1,0 +1,145 @@
+"""The :class:`Spanner` facade — the library's main entry point.
+
+A :class:`Spanner` wraps any supported specification (regex formula text or
+AST, classic VA, extended VA, or an algebra expression) and exposes the
+evaluation operations of the paper:
+
+* :meth:`Spanner.enumerate` — constant-delay enumeration after linear-time
+  preprocessing (Algorithms 1 and 2),
+* :meth:`Spanner.evaluate` — the materialized list of output mappings,
+* :meth:`Spanner.count` — output counting in ``O(|A| × |d|)`` (Algorithm 3),
+* :meth:`Spanner.extract` — convenience extraction of the captured text.
+
+Compilation into a deterministic sequential eVA happens lazily and is
+cached per alphabet, because wildcard patterns expand over the characters
+of the documents they are evaluated on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.core.documents import as_text
+from repro.core.mappings import Mapping
+from repro.automata.analysis import AutomatonStatistics, statistics
+from repro.automata.eva import ExtendedVA
+from repro.automata.va import VariableSetAutomaton
+from repro.algebra.expressions import SpannerExpression
+from repro.counting.count import count_mappings
+from repro.enumeration.evaluate import ResultDag, evaluate as run_evaluate
+from repro.regex.ast import RegexNode
+from repro.regex.parser import parse_regex
+from repro.spanners.pipeline import CompilationPipeline, CompilationReport
+
+__all__ = ["Spanner"]
+
+
+class Spanner:
+    """A compiled document spanner with constant-delay evaluation."""
+
+    def __init__(
+        self,
+        source: str | RegexNode | VariableSetAutomaton | ExtendedVA | SpannerExpression,
+        alphabet: Iterable[str] = (),
+    ) -> None:
+        if isinstance(source, str):
+            source = parse_regex(source)
+        self._pipeline = CompilationPipeline(source, alphabet)
+        self._cache: dict[frozenset[str], tuple[ExtendedVA, CompilationReport]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_regex(cls, pattern: str | RegexNode, alphabet: Iterable[str] = ()) -> "Spanner":
+        """Build a spanner from a regex formula (text or AST)."""
+        return cls(parse_regex(pattern), alphabet)
+
+    @classmethod
+    def from_va(cls, automaton: VariableSetAutomaton) -> "Spanner":
+        """Build a spanner from a classic variable-set automaton."""
+        return cls(automaton)
+
+    @classmethod
+    def from_eva(cls, automaton: ExtendedVA) -> "Spanner":
+        """Build a spanner from an extended variable-set automaton."""
+        return cls(automaton)
+
+    @classmethod
+    def from_expression(
+        cls, expression: SpannerExpression, alphabet: Iterable[str] = ()
+    ) -> "Spanner":
+        """Build a spanner from a spanner-algebra expression."""
+        return cls(expression, alphabet)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def source(self) -> object:
+        """The original specification (regex AST, automaton or expression)."""
+        return self._pipeline.source
+
+    def variables(self) -> frozenset[str]:
+        """The capture variables of the spanner."""
+        return frozenset(self._pipeline.source.variables())
+
+    def compiled(self, document: object = "") -> ExtendedVA:
+        """The deterministic sequential eVA used to evaluate *document*."""
+        return self._compiled_for(document)[0]
+
+    def compilation_report(self, document: object = "") -> CompilationReport:
+        """The per-stage report of the compilation used for *document*."""
+        return self._compiled_for(document)[1]
+
+    def statistics(self, document: object = "") -> AutomatonStatistics:
+        """Size statistics of the compiled automaton."""
+        return statistics(self.compiled(document), check_properties=True)
+
+    def _compiled_for(self, document: object) -> tuple[ExtendedVA, CompilationReport]:
+        if self._pipeline.source_needs_alphabet():
+            key = frozenset(as_text(document))
+        else:
+            key = frozenset()
+        if key not in self._cache:
+            self._cache[key] = self._pipeline.compile(key)
+        return self._cache[key]
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+
+    def preprocess(self, document: object) -> ResultDag:
+        """Run only the preprocessing phase (Algorithm 1) on *document*."""
+        automaton, _report = self._compiled_for(document)
+        return run_evaluate(automaton, document, check_determinism=False)
+
+    def enumerate(self, document: object) -> Iterator[Mapping]:
+        """Enumerate ``⟦γ⟧(d)`` with constant delay after linear preprocessing."""
+        return iter(self.preprocess(document))
+
+    def evaluate(self, document: object) -> list[Mapping]:
+        """Return the full list of output mappings."""
+        return list(self.enumerate(document))
+
+    def count(self, document: object) -> int:
+        """Count ``|⟦γ⟧(d)|`` with Algorithm 3 (no enumeration)."""
+        automaton, _report = self._compiled_for(document)
+        return count_mappings(automaton, document, check_determinism=False)
+
+    def extract(self, document: object) -> list[dict[str, str]]:
+        """Return the extracted text per output mapping.
+
+        Each output mapping becomes a dictionary from variable name to the
+        captured substring — the most convenient form for downstream use.
+        """
+        text = as_text(document)
+        return [mapping.contents(text) for mapping in self.enumerate(document)]
+
+    def __call__(self, document: object) -> list[Mapping]:
+        return self.evaluate(document)
+
+    def __repr__(self) -> str:
+        return f"Spanner({self._pipeline.source!r})"

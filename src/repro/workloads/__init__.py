@@ -1,0 +1,35 @@
+"""Synthetic workload generators used by the examples, tests and benchmarks."""
+
+from repro.workloads.documents import (
+    contact_document,
+    dna_sequence,
+    random_document,
+    server_log,
+)
+from repro.workloads.spanners import (
+    contact_expression,
+    contact_spanner,
+    figure1_document,
+    figure2_va,
+    figure3_eva,
+    nested_capture_regex,
+    proposition42_va,
+    random_census_nfa,
+    random_functional_va,
+)
+
+__all__ = [
+    "contact_document",
+    "contact_expression",
+    "contact_spanner",
+    "dna_sequence",
+    "figure1_document",
+    "figure2_va",
+    "figure3_eva",
+    "nested_capture_regex",
+    "proposition42_va",
+    "random_census_nfa",
+    "random_document",
+    "random_functional_va",
+    "server_log",
+]

@@ -1,0 +1,268 @@
+"""Spanner and automaton families used by tests, examples and benchmarks.
+
+This module collects:
+
+* the exact automata and documents of the paper's figures (Figures 1–3),
+  used by the integration tests that reproduce the worked examples;
+* the contact-extraction spanner of Example 2.1 in a form that scales to
+  arbitrarily long documents;
+* the lower-bound family of Proposition 4.2;
+* generators of random functional VA and random NFAs (for the Census
+  experiments).
+"""
+
+from __future__ import annotations
+
+import random
+import string
+
+from repro.core.documents import Document
+from repro.automata.builders import EVABuilder, VABuilder
+from repro.automata.eva import ExtendedVA
+from repro.automata.nfa import NFA
+from repro.automata.va import VariableSetAutomaton
+from repro.algebra.expressions import Atom, SpannerExpression
+from repro.regex.ast import (
+    AnyChar,
+    Capture,
+    CharClass,
+    Plus,
+    RegexNode,
+    Star,
+    concat,
+)
+from repro.regex.compiler import compile_to_va
+
+__all__ = [
+    "contact_pattern",
+    "contact_spanner",
+    "contact_expression",
+    "figure1_document",
+    "figure2_va",
+    "figure3_eva",
+    "nested_capture_regex",
+    "proposition42_va",
+    "random_census_nfa",
+    "random_functional_va",
+    "keyword_pair_pattern",
+]
+
+
+# ---------------------------------------------------------------------- #
+# The paper's running example (Figure 1 / Example 2.1)
+# ---------------------------------------------------------------------- #
+
+
+def figure1_document() -> Document:
+    """The 28-character document of Figure 1.
+
+    Written with ASCII angle brackets; the spans of the expected mappings
+    (µ1: name ``[1, 5⟩``, email ``[7, 13⟩``; µ2: name ``[16, 20⟩``, phone
+    ``[22, 28⟩`` in the paper's 1-based notation) line up exactly.
+    """
+    return Document("John <j@g.be>, Jane <555-12>", name="figure-1")
+
+
+def contact_pattern() -> str:
+    """The regex formula of Example 2.1, written in the library's syntax.
+
+    The formula extracts one mapping per ``Name <contact>`` record, binding
+    ``name`` always and exactly one of ``email`` / ``phone``.
+    """
+    return (
+        r"(.*, )?"
+        r"name{[A-Za-z]+} "
+        r"<(email{[a-z]+@[a-z.]+}|phone{[0-9]+-[0-9]+})>"
+        r"(, .*)?"
+    )
+
+
+def contact_spanner():
+    """The Example 2.1 spanner, ready to evaluate (returns a :class:`Spanner`)."""
+    from repro.spanners.spanner import Spanner
+
+    return Spanner.from_regex(contact_pattern())
+
+
+def contact_expression() -> SpannerExpression:
+    """An algebra expression joining name and email extractions.
+
+    ``π_{name,email}( names ⋈ emails )`` over two independent regex atoms;
+    because the atoms share no variable the join is a cross product of the
+    name mappings and the email mappings of the document.
+    """
+    names = Atom(r"(.*, )?name{[A-Za-z]+} <[a-z0-9@.\-]*>(, .*)?")
+    emails = Atom(r"(.*<)email{[a-z]+@[a-z.]+}(>.*)?")
+    return names.join(emails).project(["name", "email"])
+
+
+def keyword_pair_pattern(first: str, second: str) -> str:
+    """A spanner extracting the text between two keyword occurrences.
+
+    ``.* first gap{.*} second .*`` — used by the log-analysis example.
+    The capture is parenthesised so that a *first* keyword ending in an
+    identifier character is not absorbed into the capture variable name.
+    """
+    return f".*{first}(gap{{.*}}){second}.*"
+
+
+# ---------------------------------------------------------------------- #
+# The paper's figures 2 and 3
+# ---------------------------------------------------------------------- #
+
+
+def figure2_va() -> VariableSetAutomaton:
+    """The functional VA of Figure 2 (two runs produce the same mapping)."""
+    return (
+        VABuilder()
+        .initial("q0")
+        .final("q5")
+        .open("q0", "x", "q1")
+        .open("q0", "y", "q2")
+        .open("q1", "y", "q3")
+        .open("q2", "x", "q3")
+        .letter("q3", "a", "q3")
+        .close("q3", "x", "q4")
+        .close("q4", "y", "q5")
+        .build()
+    )
+
+
+def figure3_eva() -> ExtendedVA:
+    """The deterministic functional extended VA of Figure 3."""
+    return (
+        EVABuilder()
+        .initial("q0")
+        .final("q9")
+        .capture("q0", ["x"], [], "q1")
+        .capture("q0", ["y"], [], "q2")
+        .capture("q0", ["x", "y"], [], "q3")
+        .letter("q1", "a", "q4")
+        .letter("q2", "a", "q5")
+        .letter("q3", "ab", "q3")
+        .capture("q4", ["y"], [], "q6")
+        .capture("q5", ["x"], [], "q7")
+        .letter("q6", "b", "q8")
+        .letter("q7", "b", "q8")
+        .capture("q8", [], ["x", "y"], "q9")
+        .capture("q3", [], ["x", "y"], "q9")
+        .build()
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Scaling families
+# ---------------------------------------------------------------------- #
+
+
+def nested_capture_regex(depth: int, variable_prefix: str = "x") -> RegexNode:
+    """The nested-capture formula of the introduction.
+
+    ``Σ* · x1{ Σ* · x2{ … } · Σ* } · Σ*`` — on a document of length ``n``
+    it produces ``Ω(n^depth)`` output mappings, which is the workload used
+    to stress the enumeration phase.
+    """
+    if depth < 1:
+        raise ValueError(f"depth must be at least 1, got {depth}")
+    inner: RegexNode = Capture(f"{variable_prefix}{depth}", Star(AnyChar()))
+    for level in range(depth - 1, 0, -1):
+        inner = Capture(
+            f"{variable_prefix}{level}",
+            concat(Star(AnyChar()), inner, Star(AnyChar())),
+        )
+    return concat(Star(AnyChar()), inner, Star(AnyChar()))
+
+
+def proposition42_va(num_pairs: int) -> VariableSetAutomaton:
+    """The sequential VA family of Proposition 4.2 (Figures 7–8).
+
+    ``3ℓ + 2`` states, ``4ℓ + 1`` transitions and ``2ℓ`` variables; every
+    equivalent extended VA needs at least ``2^ℓ`` extended transitions.
+    """
+    if num_pairs < 1:
+        raise ValueError(f"num_pairs must be at least 1, got {num_pairs}")
+    builder = VABuilder().initial("c0").final("f")
+    for index in range(1, num_pairs + 1):
+        previous, current = f"c{index - 1}", f"c{index}"
+        builder.open(previous, f"x{index}", f"mx{index}")
+        builder.close(f"mx{index}", f"x{index}", current)
+        builder.open(previous, f"y{index}", f"my{index}")
+        builder.close(f"my{index}", f"y{index}", current)
+    builder.letter(f"c{num_pairs}", "a", "f")
+    return builder.build()
+
+
+def random_functional_va(
+    num_blocks: int = 4,
+    num_variables: int = 2,
+    alphabet: str = "ab",
+    seed: int = 0,
+) -> VariableSetAutomaton:
+    """A random functional VA.
+
+    The automaton is generated from a random regex formula shaped as a
+    concatenation of blocks, where every capture variable appears exactly
+    once; this guarantees functionality by construction while still
+    producing varied automaton shapes.
+    """
+    rng = random.Random(seed)
+    symbols = list(alphabet)
+    variables = [f"v{index}" for index in range(num_variables)]
+    capture_positions = set(rng.sample(range(max(num_blocks, num_variables)), num_variables))
+
+    blocks: list[RegexNode] = []
+    variable_iter = iter(variables)
+    for position in range(max(num_blocks, num_variables)):
+        body_chars = rng.sample(symbols, k=rng.randint(1, len(symbols)))
+        body: RegexNode = CharClass(body_chars)
+        if rng.random() < 0.5:
+            body = Plus(body)
+        if position in capture_positions:
+            blocks.append(Capture(next(variable_iter), body))
+        else:
+            blocks.append(Star(body))
+    formula = concat(*blocks)
+    return compile_to_va(formula, alphabet)
+
+
+def random_census_nfa(
+    num_states: int = 5,
+    alphabet: str = "ab",
+    density: float = 0.3,
+    seed: int = 0,
+) -> NFA:
+    """A random NFA for the Census experiments (Theorem 5.2)."""
+    rng = random.Random(seed)
+    nfa = NFA()
+    nfa.set_initial(0)
+    for state in range(num_states):
+        nfa.add_state(state)
+    for source in range(num_states):
+        for symbol in alphabet:
+            for target in range(num_states):
+                if rng.random() < density:
+                    nfa.add_transition(source, symbol, target)
+    num_finals = max(1, num_states // 3)
+    for state in rng.sample(range(num_states), num_finals):
+        nfa.add_final(state)
+    return nfa
+
+
+def random_pattern(
+    num_literals: int = 6, alphabet: str = string.ascii_lowercase[:3], seed: int = 0
+) -> str:
+    """A small random regex-formula pattern (used by property tests)."""
+    rng = random.Random(seed)
+    pieces = []
+    for _ in range(num_literals):
+        choice = rng.random()
+        symbol = rng.choice(alphabet)
+        if choice < 0.4:
+            pieces.append(symbol)
+        elif choice < 0.6:
+            pieces.append(f"{symbol}*")
+        elif choice < 0.8:
+            pieces.append(f"v{rng.randint(0, 2)}{{{symbol}+}}")
+        else:
+            pieces.append(f"({symbol}|{rng.choice(alphabet)})")
+    return "".join(pieces)

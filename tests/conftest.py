@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.transforms import to_deterministic_sequential_eva
+from repro.workloads.spanners import (
+    contact_pattern,
+    figure1_document,
+    figure2_va,
+    figure3_eva,
+    proposition42_va,
+)
+
+
+@pytest.fixture
+def figure1_doc():
+    """The 28-character document of the paper's Figure 1."""
+    return figure1_document()
+
+
+@pytest.fixture
+def contact_regex():
+    """The Example 2.1 regex formula."""
+    return contact_pattern()
+
+
+@pytest.fixture
+def fig2_va():
+    """The functional VA of Figure 2."""
+    return figure2_va()
+
+
+@pytest.fixture
+def fig3_eva():
+    """The deterministic functional eVA of Figure 3."""
+    return figure3_eva()
+
+
+@pytest.fixture
+def fig3_det(fig3_eva):
+    """Figure 3's automaton passed through the full compilation pipeline."""
+    return to_deterministic_sequential_eva(fig3_eva, assume_sequential=True)
+
+
+@pytest.fixture
+def prop42_family():
+    """The Proposition 4.2 family generator."""
+    return proposition42_va

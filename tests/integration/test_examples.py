@@ -1,0 +1,37 @@
+"""Smoke tests: every example script runs end-to-end with small inputs."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def load_example(name: str):
+    """Import an example script as a module."""
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "name,kwargs",
+    [
+        ("quickstart", {}),
+        ("contact_extraction", {"num_records": 20}),
+        ("log_analysis", {"num_lines": 25}),
+        ("dna_motifs", {"sequence_length": 300}),
+        ("algebra_join", {}),
+        ("census_counting", {}),
+    ],
+)
+def test_example_runs(capsys, name, kwargs):
+    module = load_example(name)
+    module.main(**kwargs)
+    output = capsys.readouterr().out
+    assert output.strip(), f"example {name} produced no output"

@@ -1,0 +1,128 @@
+"""Integration tests reproducing the paper's worked examples exactly.
+
+* Figure 1 / Example 2.1 — the contact-extraction spanner and its two
+  output mappings, with the exact spans of the figure.
+* Figures 3–6 — the extended VA ``A`` evaluated over ``d = ab`` with
+  Algorithm 1, producing the three mappings µ1, µ2, µ3 of Section 3.2.2.
+* Figure 2 — the functional VA whose two runs define the same mapping.
+* Proposition 4.2 — the ``2^ℓ`` lower-bound family.
+"""
+
+from repro import Span, Spanner
+from repro.core.mappings import Mapping
+from repro.automata.transforms import to_deterministic_sequential_eva, va_to_eva
+from repro.counting.count import count_mappings
+from repro.enumeration.evaluate import evaluate
+from repro.workloads.spanners import (
+    contact_pattern,
+    figure1_document,
+    figure2_va,
+    figure3_eva,
+    proposition42_va,
+)
+
+
+class TestFigure1:
+    """The running example of Section 1 and Figure 1."""
+
+    def test_two_mappings_with_exact_spans(self):
+        spanner = Spanner.from_regex(contact_pattern())
+        document = figure1_document()
+        mappings = set(spanner.evaluate(document))
+
+        mu1 = Mapping(
+            {"name": Span.from_paper(1, 5), "email": Span.from_paper(7, 13)}
+        )
+        mu2 = Mapping(
+            {"name": Span.from_paper(16, 20), "phone": Span.from_paper(22, 28)}
+        )
+        assert mappings == {mu1, mu2}
+
+    def test_extracted_text(self):
+        spanner = Spanner.from_regex(contact_pattern())
+        rows = spanner.extract(figure1_document())
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["John"]["email"] == "j@g.be"
+        assert by_name["Jane"]["phone"] == "555-12"
+
+    def test_counting_agrees(self):
+        spanner = Spanner.from_regex(contact_pattern())
+        assert spanner.count(figure1_document()) == 2
+
+
+class TestFigure2:
+    """The functional VA with two runs defining the same mapping."""
+
+    def test_duplicate_runs_single_mapping(self):
+        va = figure2_va()
+        document = "aa"
+        runs = list(va.runs(document))
+        assert len(runs) == 2  # two different variable orders
+        assert len({run.mapping() for run in runs}) == 1
+
+    def test_constant_delay_algorithm_outputs_once(self):
+        va = figure2_va()
+        det = to_deterministic_sequential_eva(va)
+        outputs = list(evaluate(det, "aa"))
+        assert outputs == [Mapping({"x": Span(0, 2), "y": Span(0, 2)})]
+
+
+class TestFigures3to6:
+    """The worked example of Section 3.2.2: A over d = ab."""
+
+    EXPECTED = {
+        # µ1: x = [1, 3⟩, y = [2, 3⟩ in the paper's 1-based notation.
+        Mapping({"x": Span.from_paper(1, 3), "y": Span.from_paper(2, 3)}),
+        # µ2: x = [2, 3⟩, y = [1, 3⟩.
+        Mapping({"x": Span.from_paper(2, 3), "y": Span.from_paper(1, 3)}),
+        # µ3: x = y = [1, 3⟩.
+        Mapping({"x": Span.from_paper(1, 3), "y": Span.from_paper(1, 3)}),
+    }
+
+    def test_reference_semantics(self):
+        assert figure3_eva().evaluate("ab") == self.EXPECTED
+
+    def test_algorithm1_and_2(self):
+        result = evaluate(figure3_eva(), "ab")
+        assert set(result) == self.EXPECTED
+
+    def test_dag_structure_matches_figure6(self):
+        # Figure 6 shows 8 DAG nodes excluding ⊥ for this run of the
+        # algorithm; only 7 of them are reachable from the two final lists
+        # at the end (the ({⊣x,⊣y}, 2) node created in Capturing(2) for q9
+        # is superseded in Capturing(3)).
+        result = evaluate(figure3_eva(), "ab")
+        assert result.count() == 3
+        assert result.node_count() >= 6
+
+    def test_counting_algorithm3(self):
+        assert count_mappings(figure3_eva(), "ab") == 3
+
+    def test_figure3_is_deterministic_sequential_functional(self):
+        eva = figure3_eva()
+        assert eva.is_deterministic()
+        assert eva.is_sequential()
+        assert eva.is_functional()
+
+
+class TestProposition42:
+    """The exponential lower bound family for sequential VA → eVA."""
+
+    def test_extended_transitions_lower_bound(self):
+        for pairs in (1, 2, 3, 4, 5):
+            va = proposition42_va(pairs)
+            eva = va_to_eva(va)
+            outgoing = sum(1 for _ in eva.variable_transitions_from("c0"))
+            assert outgoing >= 2 ** pairs
+
+    def test_family_semantics(self):
+        # Each accepting run picks x_i or y_i per pair: 2^pairs mappings.
+        for pairs in (1, 2, 3):
+            va = proposition42_va(pairs)
+            assert len(va.evaluate("a")) == 2 ** pairs
+
+    def test_family_through_full_pipeline(self):
+        va = proposition42_va(3)
+        det = to_deterministic_sequential_eva(va, assume_sequential=True)
+        assert set(evaluate(det, "a")) == va.evaluate("a")
+        assert count_mappings(det, "a") == 8

@@ -1,0 +1,131 @@
+"""Property-based tests for the Census reduction and the algebra operators."""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.automata.nfa import NFA
+from repro.automata.transforms import va_to_eva
+from repro.algebra.automaton_ops import join_eva, project_eva, union_eva
+from repro.algebra.operators import (
+    join_mapping_sets,
+    project_mapping_set,
+    union_mapping_sets,
+)
+from repro.counting.census import census_count, census_to_spanner
+from repro.regex.compiler import compile_to_va
+
+ALPHABET = "ab"
+
+
+# ---------------------------------------------------------------------- #
+# Census (Theorem 5.2)
+# ---------------------------------------------------------------------- #
+
+
+@st.composite
+def random_nfa(draw):
+    """A small random NFA over a two-letter alphabet."""
+    num_states = draw(st.integers(min_value=1, max_value=4))
+    nfa = NFA()
+    nfa.set_initial(0)
+    for state in range(num_states):
+        nfa.add_state(state)
+    transitions = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=num_states - 1),
+                st.sampled_from(list(ALPHABET)),
+                st.integers(min_value=0, max_value=num_states - 1),
+            ),
+            max_size=8,
+        )
+    )
+    for source, symbol, target in transitions:
+        nfa.add_transition(source, symbol, target)
+    finals = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=num_states - 1),
+            min_size=1,
+            max_size=num_states,
+            unique=True,
+        )
+    )
+    for state in finals:
+        nfa.add_final(state)
+    return nfa
+
+
+@settings(max_examples=40, deadline=None)
+@given(nfa=random_nfa(), length=st.integers(min_value=0, max_value=3))
+def test_census_reduction_is_parsimonious(nfa, length):
+    automaton, document = census_to_spanner(nfa, length)
+    assert len(automaton.evaluate(document)) == census_count(nfa, length)
+
+
+@settings(max_examples=25, deadline=None)
+@given(nfa=random_nfa(), length=st.integers(min_value=1, max_value=3))
+def test_census_reduction_yields_functional_va(nfa, length):
+    assume(any(label is not None for _, label, _ in nfa.transitions()))
+    automaton, _document = census_to_spanner(nfa, length)
+    assert automaton.is_functional()
+
+
+# ---------------------------------------------------------------------- #
+# Algebra operators vs. set semantics (Proposition 4.4)
+# ---------------------------------------------------------------------- #
+
+# Functional regex formulas: every variable is captured on every match.
+FUNCTIONAL_PATTERNS = [
+    "x{a+}b*",
+    "x{a*}b",
+    "x{(a|b)+}",
+    "a*x{b+}",
+    "x{a}(a|b)*",
+]
+
+documents = st.text(alphabet=ALPHABET, min_size=0, max_size=4)
+
+
+def eva_of(pattern):
+    return va_to_eva(compile_to_va(pattern, ALPHABET))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    left=st.sampled_from(FUNCTIONAL_PATTERNS),
+    right=st.sampled_from(FUNCTIONAL_PATTERNS),
+    document=documents,
+)
+def test_join_construction_matches_set_join(left, right, document):
+    left_eva, right_eva = eva_of(left), eva_of(right)
+    joined = join_eva(left_eva, right_eva)
+    assert joined.evaluate(document) == join_mapping_sets(
+        left_eva.evaluate(document), right_eva.evaluate(document)
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    left=st.sampled_from(FUNCTIONAL_PATTERNS),
+    right=st.sampled_from(FUNCTIONAL_PATTERNS),
+    document=documents,
+)
+def test_union_construction_matches_set_union(left, right, document):
+    left_eva, right_eva = eva_of(left), eva_of(right)
+    union = union_eva(left_eva, right_eva)
+    assert union.evaluate(document) == union_mapping_sets(
+        left_eva.evaluate(document), right_eva.evaluate(document)
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    pattern=st.sampled_from(["x{a+}y{b*}", "x{a}y{b}", "y{a*}x{b+}"]),
+    keep=st.sampled_from([["x"], ["y"], ["x", "y"], []]),
+    document=documents,
+)
+def test_projection_construction_matches_set_projection(pattern, keep, document):
+    automaton = eva_of(pattern)
+    projected = project_eva(automaton, keep)
+    assert projected.evaluate(document) == project_mapping_set(
+        automaton.evaluate(document), keep
+    )

@@ -1,0 +1,177 @@
+"""Property-based tests for the core data structures.
+
+Covers the LazyList single-assignment/lazy-copy semantics against a plain
+Python list model, the Mapping algebra, and the Span ordering axioms.
+"""
+
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.mappings import Mapping
+from repro.core.spans import Span
+from repro.enumeration.lazylist import LazyList
+
+
+# ---------------------------------------------------------------------- #
+# Spans
+# ---------------------------------------------------------------------- #
+
+spans = st.builds(
+    lambda a, b: Span(min(a, b), max(a, b)),
+    st.integers(min_value=0, max_value=30),
+    st.integers(min_value=0, max_value=30),
+)
+
+
+@given(spans, spans, spans)
+def test_span_ordering_is_total_and_transitive(a, b, c):
+    assert (a <= b) or (b <= a)
+    if a <= b and b <= c:
+        assert a <= c
+
+
+@given(spans)
+def test_span_paper_round_trip(span):
+    assert Span.from_paper(*span.to_paper()) == span
+
+
+@given(spans, spans)
+def test_span_concatenation_length(a, b):
+    if a.end == b.begin:
+        combined = a.concatenate(b)
+        assert len(combined) == len(a) + len(b)
+
+
+@given(spans, spans)
+def test_span_containment_consistent_with_overlap(a, b):
+    if a.contains(b) and not b.is_empty:
+        assert a.overlaps(b)
+
+
+# ---------------------------------------------------------------------- #
+# Mappings
+# ---------------------------------------------------------------------- #
+
+variables = st.sampled_from(["x", "y", "z", "w"])
+mappings = st.dictionaries(variables, spans, max_size=4).map(Mapping)
+
+
+@given(mappings, mappings)
+def test_mapping_compatibility_is_symmetric(a, b):
+    assert a.compatible(b) == b.compatible(a)
+
+
+@given(mappings, mappings)
+def test_mapping_union_domain(a, b):
+    if a.compatible(b):
+        union = a.union(b)
+        assert union.domain() == a.domain() | b.domain()
+        for variable in a.domain():
+            assert union[variable] == a[variable]
+
+
+@given(mappings)
+def test_mapping_restrict_then_union_is_identity(mapping):
+    variables_list = sorted(mapping.domain())
+    half = frozenset(variables_list[: len(variables_list) // 2])
+    rest = mapping.domain() - half
+    assert mapping.restrict(half).union(mapping.restrict(rest)) == mapping
+
+
+@given(mappings, mappings)
+def test_mapping_hash_consistent_with_equality(a, b):
+    if a == b:
+        assert hash(a) == hash(b)
+
+
+# ---------------------------------------------------------------------- #
+# LazyList model-based test
+# ---------------------------------------------------------------------- #
+
+
+def _chain_cells(lazy: LazyList) -> set[int]:
+    """The ids of the cells in a list's view (white-box helper)."""
+    cells: set[int] = set()
+    cell = lazy._start
+    while cell is not None:
+        cells.add(id(cell))
+        if cell is lazy._end:
+            break
+        cell = cell.next
+    return cells
+
+
+def _chains_disjoint(left: LazyList, right: LazyList) -> bool:
+    """Whether two lists share no cell."""
+    return not (_chain_cells(left) & _chain_cells(right))
+
+
+class LazyListMachine(RuleBasedStateMachine):
+    """Model-based test comparing LazyList against plain Python lists.
+
+    The machine maintains a pool of (LazyList, model list) pairs and
+    applies random add / lazycopy / append operations, checking after every
+    step that each lazy list's contents equal its model.  ``append`` is
+    only applied in the single-assignment discipline that Algorithm 1
+    guarantees (a list is never extended twice through a shared end cell),
+    mirroring how the algorithm uses the structure.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.pairs: list[tuple[LazyList, list]] = [(LazyList(), [])]
+        self.counter = 0
+
+    @rule()
+    def fresh_list(self):
+        if len(self.pairs) < 8:
+            self.pairs.append((LazyList(), []))
+
+    @rule(index=st.integers(min_value=0, max_value=7))
+    def add(self, index):
+        lazy, model = self.pairs[index % len(self.pairs)]
+        self.counter += 1
+        lazy.add(self.counter)
+        model.insert(0, self.counter)
+
+    @rule(index=st.integers(min_value=0, max_value=7))
+    def lazycopy(self, index):
+        if len(self.pairs) >= 8:
+            return
+        lazy, model = self.pairs[index % len(self.pairs)]
+        self.pairs.append((lazy.lazycopy(), list(model)))
+
+    @rule(
+        source_index=st.integers(min_value=0, max_value=7),
+        target_index=st.integers(min_value=0, max_value=7),
+    )
+    def append(self, source_index, target_index):
+        source_index %= len(self.pairs)
+        target_index %= len(self.pairs)
+        if source_index == target_index:
+            return
+        source_lazy, source_model = self.pairs[source_index]
+        target_lazy, target_model = self.pairs[target_index]
+        if not _chains_disjoint(source_lazy, target_lazy):
+            # `append` is only specified for disjoint chains, which is the
+            # discipline Algorithm 1 guarantees (each state list is spliced
+            # into at most one other list, and targets start out fresh).
+            return
+        try:
+            target_lazy.append(source_lazy)
+        except RuntimeError:
+            # The target's end cell was already spliced elsewhere: the
+            # operation must be refused and must leave the list untouched.
+            return
+        target_model.extend(source_model)
+
+    @invariant()
+    def lists_match_models(self):
+        for lazy, model in self.pairs:
+            assert lazy.to_list() == model
+            assert len(lazy) == len(model)
+            assert lazy.is_empty() == (not model)
+
+
+LazyListMachine.TestCase.settings = settings(max_examples=30, stateful_step_count=30, deadline=None)
+TestLazyListModel = LazyListMachine.TestCase

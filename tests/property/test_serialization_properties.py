@@ -1,0 +1,101 @@
+"""Property-based tests: serialization round-trips and evaluator agreement.
+
+Random automata are generated the same way as in the transform property
+tests; the checks are that (a) JSON (de)serialization is the identity on
+semantics, and (b) the eager-copy and on-the-fly evaluators agree with the
+standard constant-delay engine on the compiled automata.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.analysis import is_sequential
+from repro.automata.markers import close, open_
+from repro.automata.transforms import (
+    relabel_states,
+    to_deterministic_sequential_eva,
+    va_to_eva,
+)
+from repro.automata.va import VariableSetAutomaton
+from repro.baselines.eager import EagerCopyEvaluator
+from repro.enumeration.evaluate import evaluate
+from repro.enumeration.onthefly import evaluate_on_the_fly
+from repro.io.serialization import eva_from_dict, eva_to_dict, va_from_dict, va_to_dict
+
+ALPHABET = "ab"
+VARIABLES = ["x", "y"]
+NUM_STATES = 4
+
+documents = st.text(alphabet=ALPHABET, min_size=0, max_size=4)
+
+
+@st.composite
+def random_va(draw):
+    """A small random VA with integer states."""
+    automaton = VariableSetAutomaton()
+    automaton.set_initial(0)
+    for state in draw(
+        st.lists(
+            st.integers(min_value=0, max_value=NUM_STATES - 1),
+            min_size=1,
+            max_size=2,
+            unique=True,
+        )
+    ):
+        automaton.add_final(state)
+    transitions = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=NUM_STATES - 1),
+                st.one_of(
+                    st.sampled_from(list(ALPHABET)),
+                    st.sampled_from(
+                        [open_(v) for v in VARIABLES] + [close(v) for v in VARIABLES]
+                    ),
+                ),
+                st.integers(min_value=0, max_value=NUM_STATES - 1),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    for source, label, target in transitions:
+        if isinstance(label, str):
+            automaton.add_letter_transition(source, label, target)
+        else:
+            automaton.add_variable_transition(source, label, target)
+    return automaton
+
+
+@settings(max_examples=50, deadline=None)
+@given(automaton=random_va(), document=documents)
+def test_va_serialization_round_trip(automaton, document):
+    rebuilt = va_from_dict(va_to_dict(automaton))
+    assert rebuilt.evaluate(document) == automaton.evaluate(document)
+
+
+@settings(max_examples=50, deadline=None)
+@given(automaton=random_va(), document=documents)
+def test_eva_serialization_round_trip(automaton, document):
+    extended = relabel_states(va_to_eva(automaton))
+    rebuilt = eva_from_dict(eva_to_dict(extended))
+    assert rebuilt.evaluate(document) == extended.evaluate(document)
+
+
+@settings(max_examples=40, deadline=None)
+@given(automaton=random_va(), document=documents)
+def test_eager_copy_evaluator_agrees_with_lazy_engine(automaton, document):
+    deterministic = to_deterministic_sequential_eva(automaton)
+    lazy = set(evaluate(deterministic, document, check_determinism=False))
+    eager = EagerCopyEvaluator(deterministic).evaluate(document)
+    assert eager == lazy == automaton.evaluate(document)
+
+
+@settings(max_examples=40, deadline=None)
+@given(automaton=random_va(), document=documents)
+def test_on_the_fly_agrees_with_reference_for_sequential_inputs(automaton, document):
+    extended = va_to_eva(automaton)
+    if not is_sequential(extended):
+        return
+    outputs = list(evaluate_on_the_fly(extended, document))
+    assert set(outputs) == automaton.evaluate(document)
+    assert len(outputs) == len(set(outputs))

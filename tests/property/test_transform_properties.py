@@ -1,0 +1,110 @@
+"""Property-based tests for the automaton translations of Section 4."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.analysis import is_functional, is_sequential
+from repro.automata.markers import close, open_
+from repro.automata.transforms import (
+    determinize,
+    eva_to_va,
+    sequentialize,
+    to_deterministic_sequential_eva,
+    va_to_eva,
+)
+from repro.automata.va import VariableSetAutomaton
+
+ALPHABET = "ab"
+VARIABLES = ["x", "y"]
+NUM_STATES = 4
+
+documents = st.text(alphabet=ALPHABET, min_size=0, max_size=4)
+
+
+@st.composite
+def random_va(draw):
+    """A small random VA (not necessarily sequential or functional)."""
+    automaton = VariableSetAutomaton()
+    automaton.set_initial(0)
+    num_finals = draw(st.integers(min_value=1, max_value=2))
+    for state in draw(
+        st.lists(
+            st.integers(min_value=0, max_value=NUM_STATES - 1),
+            min_size=num_finals,
+            max_size=num_finals,
+            unique=True,
+        )
+    ):
+        automaton.add_final(state)
+
+    transitions = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=NUM_STATES - 1),
+                st.one_of(
+                    st.sampled_from(list(ALPHABET)),
+                    st.sampled_from(
+                        [open_(v) for v in VARIABLES] + [close(v) for v in VARIABLES]
+                    ),
+                ),
+                st.integers(min_value=0, max_value=NUM_STATES - 1),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    for source, label, target in transitions:
+        if isinstance(label, str):
+            automaton.add_letter_transition(source, label, target)
+        else:
+            automaton.add_variable_transition(source, label, target)
+    return automaton
+
+
+@settings(max_examples=50, deadline=None)
+@given(automaton=random_va(), document=documents)
+def test_va_to_eva_preserves_semantics(automaton, document):
+    assert va_to_eva(automaton).evaluate(document) == automaton.evaluate(document)
+
+
+@settings(max_examples=50, deadline=None)
+@given(automaton=random_va(), document=documents)
+def test_eva_round_trip_preserves_semantics(automaton, document):
+    extended = va_to_eva(automaton)
+    assert eva_to_va(extended).evaluate(document) == automaton.evaluate(document)
+
+
+@settings(max_examples=50, deadline=None)
+@given(automaton=random_va(), document=documents)
+def test_sequentialize_preserves_semantics_and_is_sequential(automaton, document):
+    sequential = sequentialize(automaton)
+    assert is_sequential(sequential)
+    assert sequential.evaluate(document) == automaton.evaluate(document)
+
+
+@settings(max_examples=50, deadline=None)
+@given(automaton=random_va(), document=documents)
+def test_determinization_preserves_semantics(automaton, document):
+    extended = sequentialize(automaton)
+    determinized = determinize(extended)
+    assert determinized.is_deterministic()
+    assert determinized.evaluate(document) == automaton.evaluate(document)
+
+
+@settings(max_examples=40, deadline=None)
+@given(automaton=random_va(), document=documents)
+def test_full_pipeline_matches_constant_delay_evaluation(automaton, document):
+    from repro.enumeration.evaluate import evaluate
+
+    deterministic = to_deterministic_sequential_eva(automaton)
+    assert deterministic.is_deterministic()
+    assert is_sequential(deterministic)
+    assert set(evaluate(deterministic, document)) == automaton.evaluate(document)
+
+
+@settings(max_examples=40, deadline=None)
+@given(automaton=random_va())
+def test_functionality_preserved_by_va_to_eva(automaton):
+    # Theorem 3.1: the translation preserves functionality (the converse
+    # need not hold, because invalid VA runs have no eVA counterpart).
+    if is_functional(automaton):
+        assert is_functional(va_to_eva(automaton))

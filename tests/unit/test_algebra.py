@@ -1,0 +1,224 @@
+"""Unit tests for the spanner algebra (repro.algebra)."""
+
+import pytest
+
+from repro.core.errors import CompilationError
+from repro.core.mappings import Mapping
+from repro.core.spans import Span
+from repro.automata.transforms import to_deterministic_sequential_eva, va_to_eva
+from repro.algebra.automaton_ops import (
+    join_eva,
+    project_eva,
+    union_deterministic_eva,
+    union_eva,
+)
+from repro.algebra.compile import compile_expression, evaluate_expression_setwise
+from repro.algebra.expressions import Atom, Join, Projection, UnionExpr
+from repro.algebra.operators import (
+    join_mapping_sets,
+    project_mapping_set,
+    union_mapping_sets,
+)
+from repro.regex.compiler import compile_to_va
+
+
+def eva_of(pattern: str, alphabet=None):
+    """Compile a regex formula into an extended VA."""
+    return va_to_eva(compile_to_va(pattern, alphabet))
+
+
+M = Mapping
+S = Span
+
+
+class TestSetOperators:
+    def test_join_on_shared_variable(self):
+        left = {M({"x": S(0, 1), "y": S(1, 2)}), M({"x": S(2, 3)})}
+        right = {M({"x": S(0, 1), "z": S(3, 4)})}
+        assert join_mapping_sets(left, right) == {
+            M({"x": S(0, 1), "y": S(1, 2), "z": S(3, 4)})
+        }
+
+    def test_join_without_shared_variables_is_cross_product(self):
+        left = {M({"a": S(0, 1)}), M({"a": S(1, 2)})}
+        right = {M({"b": S(2, 3)})}
+        assert len(join_mapping_sets(left, right)) == 2
+
+    def test_join_with_empty_side(self):
+        assert join_mapping_sets(set(), {M({"x": S(0, 1)})}) == set()
+        assert join_mapping_sets({M({"x": S(0, 1)})}, set()) == set()
+
+    def test_join_incompatible(self):
+        left = {M({"x": S(0, 1)})}
+        right = {M({"x": S(1, 2)})}
+        assert join_mapping_sets(left, right) == set()
+
+    def test_join_partial_mappings(self):
+        # The paper's mapping semantics: variables may be absent; absent
+        # variables never conflict.
+        left = {M({"x": S(0, 1)}), M.EMPTY}
+        right = {M({"y": S(1, 2)})}
+        result = join_mapping_sets(left, right)
+        assert M({"x": S(0, 1), "y": S(1, 2)}) in result
+        assert M({"y": S(1, 2)}) in result
+
+    def test_union(self):
+        left = {M({"x": S(0, 1)})}
+        right = {M({"y": S(1, 2)})}
+        assert union_mapping_sets(left, right) == left | right
+
+    def test_projection(self):
+        mappings = {M({"x": S(0, 1), "y": S(1, 2)}), M({"x": S(2, 3)})}
+        assert project_mapping_set(mappings, ["x"]) == {
+            M({"x": S(0, 1)}),
+            M({"x": S(2, 3)}),
+        }
+
+    def test_projection_can_merge_mappings(self):
+        mappings = {M({"x": S(0, 1), "y": S(1, 2)}), M({"x": S(0, 1), "y": S(2, 3)})}
+        assert len(project_mapping_set(mappings, ["x"])) == 1
+
+
+class TestExpressions:
+    def test_atom_from_string(self):
+        atom = Atom("x{a}")
+        assert atom.variables() == frozenset({"x"})
+        assert atom.operator_count() == 0
+
+    def test_expression_builders_and_sugar(self):
+        left = Atom("x{a}")
+        right = Atom("y{b}")
+        assert isinstance(left.union(right), UnionExpr)
+        assert isinstance(left | right, UnionExpr)
+        assert isinstance(left & right, Join)
+        assert isinstance(left.project(["x"]), Projection)
+
+    def test_variables_propagate(self):
+        expression = (Atom("x{a}") & Atom("y{b}")).project(["x"])
+        assert expression.variables() == frozenset({"x"})
+
+    def test_operator_count_and_size(self):
+        expression = (Atom("x{a}") & Atom("y{b}")).project(["x"])
+        assert expression.operator_count() == 2
+        assert expression.size() > 2
+        assert len(expression.atoms()) == 2
+
+    def test_invalid_atom(self):
+        with pytest.raises(CompilationError):
+            Atom(123)
+
+    def test_repr(self):
+        assert "Join" in repr(Atom("a") & Atom("b"))
+
+
+class TestAutomatonOperators:
+    def test_union_matches_set_semantics(self):
+        left = eva_of("x{a}b")
+        right = eva_of("a(x{b})")
+        union = union_eva(left, right)
+        for document in ["ab", "a", "b", "ba"]:
+            assert union.evaluate(document) == union_mapping_sets(
+                left.evaluate(document), right.evaluate(document)
+            )
+
+    def test_union_size_is_linear(self):
+        left = eva_of("x{a}b")
+        right = eva_of("a(x{b})")
+        union = union_eva(left, right)
+        assert union.num_states <= left.num_states + right.num_states + 1
+
+    def test_deterministic_union_matches_set_semantics(self):
+        left = to_deterministic_sequential_eva(eva_of("x{a}b"))
+        right = to_deterministic_sequential_eva(eva_of("a(x{b})"))
+        union = union_deterministic_eva(left, right)
+        assert union.is_deterministic()
+        for document in ["ab", "a", "b", "ba", "abab"]:
+            assert union.evaluate(document) == union_mapping_sets(
+                left.evaluate(document), right.evaluate(document)
+            )
+
+    def test_join_matches_set_semantics_functional(self):
+        # Two functional spanners over the same document sharing variable x.
+        left = eva_of("x{a+}b*")
+        right = eva_of("x{a+}y{b*}")
+        joined = join_eva(left, right)
+        for document in ["ab", "aab", "a", "abb"]:
+            assert joined.evaluate(document) == join_mapping_sets(
+                left.evaluate(document), right.evaluate(document)
+            )
+
+    def test_join_without_shared_variables(self):
+        left = eva_of("x{a}b")
+        right = eva_of("a(y{b})")
+        joined = join_eva(left, right)
+        assert joined.evaluate("ab") == join_mapping_sets(
+            left.evaluate("ab"), right.evaluate("ab")
+        )
+
+    def test_join_size_bound(self):
+        left = eva_of("x{a}b")
+        right = eva_of("a(y{b})")
+        joined = join_eva(left, right)
+        assert joined.num_states <= left.num_states * right.num_states
+
+    def test_projection_matches_set_semantics(self):
+        automaton = eva_of("x{a+}y{b+}")
+        projected = project_eva(automaton, ["x"])
+        for document in ["ab", "aab", "abb", ""]:
+            assert projected.evaluate(document) == project_mapping_set(
+                automaton.evaluate(document), ["x"]
+            )
+
+    def test_projection_onto_empty_set(self):
+        automaton = eva_of("x{a}")
+        projected = project_eva(automaton, [])
+        assert projected.evaluate("a") == {Mapping.EMPTY}
+        assert projected.variables() == frozenset()
+
+    def test_projection_keeps_functionality(self):
+        automaton = eva_of("x{a+}y{b+}")
+        projected = project_eva(automaton, ["y"])
+        assert projected.is_functional()
+
+    def test_operators_require_initial_states(self):
+        from repro.automata.eva import ExtendedVA
+
+        with pytest.raises(CompilationError):
+            union_eva(ExtendedVA(), eva_of("a"))
+        with pytest.raises(CompilationError):
+            join_eva(ExtendedVA(), eva_of("a"))
+        with pytest.raises(CompilationError):
+            project_eva(ExtendedVA(), ["x"])
+
+
+class TestCompileExpression:
+    def test_compile_matches_setwise_evaluation(self):
+        expression = (Atom("x{a+}b*") & Atom("x{a+}y{b*}")).project(["y"])
+        for document in ["ab", "aab", "abb"]:
+            compiled = compile_expression(expression, frozenset(document))
+            determinized = to_deterministic_sequential_eva(compiled)
+            from repro.enumeration.evaluate import evaluate
+
+            constant_delay = set(evaluate(determinized, document))
+            assert constant_delay == evaluate_expression_setwise(expression, document)
+
+    def test_union_expression(self):
+        expression = Atom("x{a}b") | Atom("a(x{b})")
+        compiled = compile_expression(expression)
+        assert compiled.evaluate("ab") == evaluate_expression_setwise(expression, "ab")
+
+    def test_functional_join_check(self):
+        # "x{a}?b" is not functional (x optional), so the guarded join
+        # construction must refuse it.
+        expression = Atom("x{a}?b") & Atom("y{b}")
+        with pytest.raises(CompilationError):
+            compile_expression(expression, check_functional_joins=True)
+
+    def test_functional_join_check_passes_for_functional(self):
+        expression = Atom("x{a}b") & Atom("a(y{b})")
+        compiled = compile_expression(expression, check_functional_joins=True)
+        assert compiled.variables() == frozenset({"x", "y"})
+
+    def test_unsupported_expression(self):
+        with pytest.raises(CompilationError):
+            compile_expression("not an expression")

@@ -1,0 +1,157 @@
+"""Unit tests for repro.automata.analysis."""
+
+from repro.automata.analysis import (
+    VariableLedger,
+    coreachable_states,
+    is_functional,
+    is_sequential,
+    reachable_states,
+    statistics,
+    trim,
+)
+from repro.automata.builders import EVABuilder, VABuilder
+from repro.automata.markers import close, open_
+
+
+class TestVariableLedger:
+    def test_fresh_is_valid_but_not_total(self):
+        ledger = VariableLedger.fresh(("x", "y"))
+        assert ledger.is_valid_final()
+        assert not ledger.is_total_final()
+        assert ledger.can_become_valid()
+
+    def test_open_then_close(self):
+        ledger = VariableLedger.fresh(("x",))
+        ledger = ledger.apply_marker(open_("x"))
+        assert ledger.opened_variables() == frozenset({"x"})
+        assert not ledger.is_valid_final()
+        ledger = ledger.apply_marker(close("x"))
+        assert ledger.closed_variables() == frozenset({"x"})
+        assert ledger.is_valid_final()
+        assert ledger.is_total_final()
+
+    def test_close_before_open_violates(self):
+        ledger = VariableLedger.fresh(("x",)).apply_marker(close("x"))
+        assert not ledger.can_become_valid()
+
+    def test_double_open_violates(self):
+        ledger = VariableLedger.fresh(("x",))
+        ledger = ledger.apply_marker(open_("x")).apply_marker(open_("x"))
+        assert not ledger.can_become_valid()
+
+    def test_open_and_close_in_same_set(self):
+        ledger = VariableLedger.fresh(("x",)).apply_markers([open_("x"), close("x")])
+        assert ledger.is_total_final()
+
+
+class TestSequentialityChecks:
+    def test_figure2_is_sequential_and_functional(self, fig2_va):
+        assert is_sequential(fig2_va)
+        assert is_functional(fig2_va)
+
+    def test_figure3_is_sequential_and_functional(self, fig3_eva):
+        assert is_sequential(fig3_eva)
+        assert is_functional(fig3_eva)
+
+    def test_non_sequential_va(self):
+        # An accepting run may leave x open.
+        va = (
+            VABuilder()
+            .initial(0)
+            .final(1)
+            .open(0, "x", 1)
+            .close(1, "x", 2)
+            .build()
+        )
+        va.add_final(2)
+        assert not is_sequential(va)
+        assert not is_functional(va)
+
+    def test_sequential_but_not_functional(self):
+        # x is optional: valid runs exist with and without it.
+        va = (
+            VABuilder()
+            .initial(0)
+            .final(2)
+            .letter(0, "a", 2)
+            .open(0, "x", 1)
+            .close(1, "x", 3)
+            .build()
+        )
+        va.add_letter_transition(3, "a", 2)
+        assert is_sequential(va)
+        assert not is_functional(va)
+
+    def test_eva_alternation_respected(self):
+        # Two consecutive variable transitions cannot be used by any run,
+        # so the automaton is (vacuously) sequential.
+        eva = (
+            EVABuilder()
+            .initial(0)
+            .final(2)
+            .capture(0, ["x"], [], 1)
+            .capture(1, ["x"], [], 2)
+            .build()
+        )
+        assert is_sequential(eva)
+
+    def test_automaton_without_initial_is_sequential(self):
+        eva = EVABuilder().final(0).build()
+        assert is_sequential(eva)
+        assert is_functional(eva)
+
+
+class TestReachabilityAndTrim:
+    def build_with_dead_states(self):
+        va = (
+            VABuilder()
+            .initial(0)
+            .final(2)
+            .letter(0, "a", 1)
+            .letter(1, "a", 2)
+            .letter(3, "a", 2)   # unreachable source
+            .letter(1, "b", 4)   # dead end target
+            .build()
+        )
+        return va
+
+    def test_reachable(self):
+        va = self.build_with_dead_states()
+        assert reachable_states(va) == frozenset({0, 1, 2, 4})
+
+    def test_coreachable(self):
+        va = self.build_with_dead_states()
+        assert coreachable_states(va) == frozenset({0, 1, 2, 3})
+
+    def test_trim_keeps_useful_states_only(self):
+        va = self.build_with_dead_states()
+        trimmed = trim(va)
+        assert trimmed.states == frozenset({0, 1, 2})
+        assert trimmed.evaluate("aa") == va.evaluate("aa")
+
+    def test_trim_preserves_semantics(self, fig3_eva):
+        trimmed = trim(fig3_eva)
+        assert trimmed.evaluate("ab") == fig3_eva.evaluate("ab")
+
+
+class TestStatistics:
+    def test_basic_counts(self, fig3_eva):
+        stats = statistics(fig3_eva)
+        assert stats.num_states == 10
+        assert stats.num_variables == 2
+        assert stats.num_letter_transitions == 6
+        assert stats.num_variable_transitions == 7
+        assert stats.size == stats.num_states + stats.num_transitions
+        assert stats.deterministic is None
+
+    def test_with_property_checks(self, fig3_eva):
+        stats = statistics(fig3_eva, check_properties=True)
+        assert stats.deterministic is True
+        assert stats.sequential is True
+        assert stats.functional is True
+
+    def test_va_statistics(self, fig2_va):
+        stats = statistics(fig2_va, check_properties=True)
+        assert stats.deterministic is None  # determinism is an eVA notion
+        assert stats.sequential is True
+        assert stats.functional is True

@@ -1,0 +1,103 @@
+"""Unit tests for the baseline enumeration algorithms (repro.baselines)."""
+
+import pytest
+
+from repro.core.errors import NotSequentialError
+from repro.core.mappings import Mapping
+from repro.core.spans import Span
+from repro.automata.builders import EVABuilder
+from repro.baselines.naive import NaiveEnumerator, naive_evaluate
+from repro.baselines.polydelay import PolynomialDelayEnumerator, polynomial_delay_evaluate
+from repro.workloads.spanners import figure2_va, figure3_eva
+
+
+class TestNaiveEnumerator:
+    def test_matches_reference_on_figure3(self, fig3_eva):
+        enumerator = NaiveEnumerator(fig3_eva)
+        assert enumerator.evaluate("ab") == fig3_eva.evaluate("ab")
+        assert enumerator.count("ab") == 3
+
+    def test_matches_reference_on_figure2(self, fig2_va):
+        enumerator = NaiveEnumerator(fig2_va)
+        assert enumerator.evaluate("aa") == fig2_va.evaluate("aa")
+
+    def test_enumerate_yields_each_output_once(self, fig3_eva):
+        outputs = list(NaiveEnumerator(fig3_eva).enumerate("ab"))
+        assert len(outputs) == len(set(outputs)) == 3
+
+    def test_accessor_and_wrapper(self, fig2_va):
+        enumerator = NaiveEnumerator(fig2_va)
+        assert enumerator.automaton is fig2_va
+        assert naive_evaluate(fig2_va, "a") == fig2_va.evaluate("a")
+
+    def test_rejects_other_inputs(self):
+        with pytest.raises(TypeError):
+            NaiveEnumerator("not an automaton")
+
+
+class TestPolynomialDelayEnumerator:
+    def test_matches_reference_on_figure3(self, fig3_eva):
+        enumerator = PolynomialDelayEnumerator(fig3_eva)
+        for document in ["ab", "ba", "", "aabb", "abab"]:
+            assert enumerator.evaluate(document) == fig3_eva.evaluate(document)
+
+    def test_accepts_classic_va(self, fig2_va):
+        enumerator = PolynomialDelayEnumerator(fig2_va)
+        for document in ["", "a", "aa", "aaa"]:
+            assert enumerator.evaluate(document) == fig2_va.evaluate(document)
+
+    def test_no_duplicates(self, fig3_eva):
+        outputs = list(PolynomialDelayEnumerator(fig3_eva).enumerate("ab"))
+        assert len(outputs) == len(set(outputs))
+
+    def test_count(self, fig3_eva):
+        assert PolynomialDelayEnumerator(fig3_eva).count("ab") == 3
+
+    def test_enumeration_is_lazy(self, fig3_eva):
+        iterator = PolynomialDelayEnumerator(fig3_eva).enumerate("ab")
+        assert isinstance(next(iterator), Mapping)
+
+    def test_works_without_determinization(self):
+        # A non-deterministic (but sequential) eVA: two runs through
+        # different states produce the same mapping, which must still be
+        # enumerated exactly once.
+        eva = (
+            EVABuilder()
+            .initial(0)
+            .final(3)
+            .capture(0, ["x"], [], 1)
+            .letter(1, "a", 2)
+            .letter(1, "a", 4)
+            .capture(2, [], ["x"], 3)
+            .capture(4, [], ["x"], 3)
+            .build()
+        )
+        assert not eva.is_deterministic()
+        outputs = list(PolynomialDelayEnumerator(eva).enumerate("a"))
+        assert outputs == [Mapping({"x": Span(0, 1)})]
+
+    def test_sequentiality_check(self):
+        eva = EVABuilder().initial(0).final(1).capture(0, ["x"], [], 1).build()
+        with pytest.raises(NotSequentialError):
+            PolynomialDelayEnumerator(eva, check_sequentiality=True)
+
+    def test_empty_document(self, fig3_eva):
+        assert PolynomialDelayEnumerator(fig3_eva).evaluate("") == set()
+
+    def test_wrapper_function(self):
+        assert polynomial_delay_evaluate(figure3_eva(), "ab") == figure3_eva().evaluate("ab")
+
+    def test_automaton_without_initial(self):
+        eva = EVABuilder().final(0).build()
+        assert PolynomialDelayEnumerator(eva).evaluate("a") == set()
+
+
+class TestBaselinesAgreeWithEachOther:
+    def test_three_way_agreement(self):
+        eva = figure3_eva()
+        va = figure2_va()
+        for automaton, documents in ((eva, ["ab", "aabb"]), (va, ["a", "aa"])):
+            for document in documents:
+                naive = naive_evaluate(automaton, document)
+                poly = polynomial_delay_evaluate(automaton, document)
+                assert naive == poly

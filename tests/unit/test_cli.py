@@ -1,0 +1,82 @@
+"""Unit tests for the command line interface (repro.cli)."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.workloads.spanners import contact_pattern, figure1_document
+
+
+@pytest.fixture
+def document_path(tmp_path):
+    path = tmp_path / "doc.txt"
+    path.write_text(figure1_document().text, encoding="utf-8")
+    return str(path)
+
+
+def run_cli(argv, stdin=None):
+    out = io.StringIO()
+    code = main(argv, stdin=stdin, out=out)
+    return code, out.getvalue()
+
+
+class TestExtract:
+    def test_text_format(self, document_path):
+        code, output = run_cli(["extract", contact_pattern(), document_path])
+        assert code == 0
+        rows = [json.loads(line) for line in output.strip().splitlines()]
+        assert {row["name"] for row in rows} == {"John", "Jane"}
+
+    def test_json_format(self, document_path):
+        code, output = run_cli(
+            ["extract", contact_pattern(), document_path, "--format", "json"]
+        )
+        assert code == 0
+        rows = [json.loads(line) for line in output.strip().splitlines()]
+        assert all("begin" in row["name"] for row in rows)
+
+    def test_spans_format(self, document_path):
+        code, output = run_cli(
+            ["extract", contact_pattern(), document_path, "--format", "spans"]
+        )
+        assert code == 0
+        assert "[1, 5⟩" in output
+
+    def test_limit(self, document_path):
+        code, output = run_cli(
+            ["extract", contact_pattern(), document_path, "--limit", "1"]
+        )
+        assert code == 0
+        assert len(output.strip().splitlines()) == 1
+
+    def test_reads_stdin_when_no_path(self):
+        code, output = run_cli(
+            ["extract", "x{a+}"], stdin=["aaa"]
+        )
+        assert code == 0
+        assert json.loads(output.strip()) == {"x": "aaa"}
+
+
+class TestCountAndInspect:
+    def test_count(self, document_path):
+        code, output = run_cli(["count", contact_pattern(), document_path])
+        assert code == 0
+        assert output.strip() == "2"
+
+    def test_inspect(self, document_path):
+        code, output = run_cli(["inspect", contact_pattern(), document_path])
+        assert code == 0
+        assert "deterministic sequential eVA" in output
+        assert "stage" in output
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            run_cli([])
+
+    def test_parser_help_mentions_subcommands(self):
+        parser = build_parser()
+        help_text = parser.format_help()
+        for command in ("extract", "count", "inspect"):
+            assert command in help_text

@@ -1,0 +1,124 @@
+"""Unit tests for Algorithm 3 and the Census reduction (repro.counting)."""
+
+import pytest
+
+from repro.core.errors import NotDeterministicError, NotSequentialError
+from repro.automata.builders import EVABuilder
+from repro.automata.nfa import NFA
+from repro.automata.transforms import to_deterministic_sequential_eva
+from repro.counting.census import CensusInstance, census_count, census_to_spanner
+from repro.counting.count import count_mappings
+from repro.enumeration.evaluate import evaluate
+from repro.workloads.spanners import figure2_va, figure3_eva, random_census_nfa
+
+
+class TestCountMappings:
+    def test_figure3_counts(self, fig3_eva):
+        assert count_mappings(fig3_eva, "ab") == 3
+        assert count_mappings(fig3_eva, "ba") == 1
+        assert count_mappings(fig3_eva, "") == 0
+
+    def test_count_matches_enumeration(self, fig3_det):
+        for document in ["ab", "aab", "abb", "aabb", "abab"]:
+            expected = len(list(evaluate(fig3_det, document)))
+            assert count_mappings(fig3_det, document) == expected
+
+    def test_count_on_pipeline_compiled_va(self):
+        det = to_deterministic_sequential_eva(figure2_va())
+        for document in ["", "a", "aa", "aaa"]:
+            assert count_mappings(det, document) == len(figure2_va().evaluate(document))
+
+    def test_count_without_variables(self):
+        eva = EVABuilder().initial(0).final(1).letter(0, "a", 1).build()
+        assert count_mappings(eva, "a") == 1
+        assert count_mappings(eva, "b") == 0
+
+    def test_count_empty_document(self):
+        eva = EVABuilder().initial(0).final(0).build()
+        assert count_mappings(eva, "") == 1
+
+    def test_count_without_initial_state(self):
+        assert count_mappings(EVABuilder().final(0).build(), "a") == 0
+
+    def test_rejects_nondeterministic(self, fig3_eva):
+        broken = fig3_eva.copy()
+        broken.add_letter_transition("q1", "a", "q5")
+        with pytest.raises(NotDeterministicError):
+            count_mappings(broken, "ab")
+
+    def test_sequentiality_check_optional(self):
+        eva = EVABuilder().initial(0).final(1).capture(0, ["x"], [], 1).build()
+        with pytest.raises(NotSequentialError):
+            count_mappings(eva, "", check_sequentiality=True)
+
+    def test_large_count_exact(self):
+        # x{a^j} a^(n-j) with j >= 1: exactly n outputs on a^n, counted
+        # without enumerating them.
+        eva = (
+            EVABuilder()
+            .initial(0)
+            .final(3)
+            .capture(0, ["x"], [], 1)
+            .letter(1, "a", 2)
+            .capture(2, [], ["x"], 3)
+            .letter(2, "a", 2)
+            .letter(3, "a", 3)
+            .build()
+        )
+        det = to_deterministic_sequential_eva(eva, assume_sequential=True)
+        assert count_mappings(det, "a" * 50) == 50
+
+
+class TestCensus:
+    def build_parity_nfa(self) -> NFA:
+        """Accepts words over {a, b} with an even number of a's."""
+        nfa = NFA()
+        nfa.set_initial(0)
+        nfa.add_final(0)
+        nfa.add_transition(0, "a", 1)
+        nfa.add_transition(1, "a", 0)
+        nfa.add_transition(0, "b", 0)
+        nfa.add_transition(1, "b", 1)
+        return nfa
+
+    def test_census_count_ground_truth(self):
+        nfa = self.build_parity_nfa()
+        # Words of length 3 with an even number of a's: bbb, aab, aba, baa.
+        assert census_count(nfa, 3) == 4
+
+    def test_reduction_produces_functional_va(self):
+        automaton, document = census_to_spanner(self.build_parity_nfa(), 2)
+        assert automaton.is_functional()
+        assert len(document) == 2 * 3  # one block of '#cc' per position
+
+    def test_reduction_is_parsimonious_small(self):
+        nfa = self.build_parity_nfa()
+        for length in range(4):
+            automaton, document = census_to_spanner(nfa, length)
+            assert len(automaton.evaluate(document)) == census_count(nfa, length)
+
+    def test_reduction_with_epsilon_transitions(self):
+        nfa = NFA()
+        nfa.set_initial(0)
+        nfa.add_epsilon_transition(0, 1)
+        nfa.add_transition(1, "a", 2)
+        nfa.add_epsilon_transition(2, 3)
+        nfa.add_final(3)
+        automaton, document = census_to_spanner(nfa, 1)
+        assert len(automaton.evaluate(document)) == census_count(nfa, 1) == 1
+
+    def test_length_zero(self):
+        nfa = self.build_parity_nfa()
+        automaton, document = census_to_spanner(nfa, 0)
+        assert len(document) == 0
+        assert len(automaton.evaluate(document)) == 1  # only the empty word
+
+    def test_census_instance_solvers_agree(self):
+        instance = CensusInstance(random_census_nfa(4, "ab", density=0.5, seed=7), 3)
+        direct = instance.solve_directly()
+        assert instance.solve_by_enumeration() == direct
+        assert instance.solve_via_spanner() == direct
+
+    def test_census_instance_via_spanner_uses_algorithm3(self):
+        instance = CensusInstance(self.build_parity_nfa(), 4)
+        assert instance.solve_via_spanner() == census_count(instance.nfa, 4) == 8

@@ -1,0 +1,102 @@
+"""Unit tests for repro.core.documents."""
+
+import pytest
+
+from repro.core.documents import Document, as_text, concatenate
+from repro.core.errors import SpanError
+from repro.core.spans import Span
+
+
+class TestBasics:
+    def test_length_and_iteration(self):
+        doc = Document("abc")
+        assert len(doc) == 3
+        assert list(doc) == ["a", "b", "c"]
+
+    def test_alphabet(self):
+        assert Document("abab").alphabet() == frozenset({"a", "b"})
+        assert Document("").alphabet() == frozenset()
+
+    def test_text_property(self):
+        assert Document("hello").text == "hello"
+
+    def test_non_string_rejected(self):
+        with pytest.raises(TypeError):
+            Document(123)
+
+    def test_named_document_repr(self):
+        doc = Document("abc", name="sample")
+        assert "sample" in repr(doc)
+
+    def test_long_document_repr_truncated(self):
+        doc = Document("x" * 100)
+        assert "..." in repr(doc)
+
+
+class TestIndexing:
+    def test_index_with_span(self):
+        assert Document("John Doe")[Span(0, 4)] == "John"
+
+    def test_index_with_int_and_slice(self):
+        doc = Document("abcdef")
+        assert doc[0] == "a"
+        assert doc[1:3] == "bc"
+
+    def test_index_with_invalid_key(self):
+        with pytest.raises(TypeError):
+            Document("abc")["key"]
+
+    def test_whole_span(self):
+        doc = Document("abc")
+        assert doc.span() == Span(0, 3)
+
+
+class TestSpansAndSearch:
+    def test_spans_count(self):
+        doc = Document("ab")
+        # (n+1)(n+2)/2 spans for n = 2.
+        assert sum(1 for _ in doc.spans()) == 6
+
+    def test_find_all_overlapping(self):
+        doc = Document("aaa")
+        assert list(doc.find_all("aa")) == [Span(0, 2), Span(1, 3)]
+
+    def test_find_all_absent(self):
+        assert list(Document("abc").find_all("z")) == []
+
+    def test_find_all_empty_needle_raises(self):
+        with pytest.raises(SpanError):
+            list(Document("abc").find_all(""))
+
+    def test_lines(self):
+        doc = Document("ab\ncd\n")
+        lines = list(doc.lines())
+        assert lines[0] == (Span(0, 2), "ab")
+        assert lines[1] == (Span(3, 5), "cd")
+
+
+class TestEqualityAndHelpers:
+    def test_equality_with_string(self):
+        assert Document("abc") == "abc"
+        assert Document("abc") == Document("abc")
+        assert Document("abc") != Document("abd")
+
+    def test_hash(self):
+        assert len({Document("a"), Document("a")}) == 1
+
+    def test_as_text(self):
+        assert as_text("plain") == "plain"
+        assert as_text(Document("doc")) == "doc"
+        with pytest.raises(TypeError):
+            as_text(42)
+
+    def test_concatenate(self):
+        combined = concatenate([Document("ab"), "cd"], separator="-")
+        assert combined.text == "ab-cd"
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "doc.txt"
+        path.write_text("file content", encoding="utf-8")
+        doc = Document.from_file(path)
+        assert doc.text == "file content"
+        assert doc.name == str(path)

@@ -1,0 +1,44 @@
+"""Unit tests for the eager-copy ablation evaluator (repro.baselines.eager)."""
+
+import pytest
+
+from repro.core.errors import NotDeterministicError
+from repro.baselines.eager import EagerCopyEvaluator
+from repro.automata.transforms import to_deterministic_sequential_eva
+from repro.enumeration.evaluate import evaluate
+from repro.spanners.spanner import Spanner
+from repro.workloads.spanners import figure2_va, figure3_eva, nested_capture_regex
+
+
+class TestEagerCopyEvaluator:
+    def test_matches_reference_on_figure3(self, fig3_eva):
+        evaluator = EagerCopyEvaluator(fig3_eva)
+        for document in ["ab", "ba", "aabb", ""]:
+            assert evaluator.evaluate(document) == fig3_eva.evaluate(document)
+
+    def test_matches_constant_delay_engine(self):
+        automaton = to_deterministic_sequential_eva(figure2_va())
+        evaluator = EagerCopyEvaluator(automaton)
+        for document in ["", "a", "aaa"]:
+            assert evaluator.evaluate(document) == set(
+                evaluate(automaton, document, check_determinism=False)
+            )
+
+    def test_matches_on_quadratic_workload(self):
+        spanner = Spanner.from_regex(nested_capture_regex(1))
+        automaton = spanner.compiled("a")
+        document = "a" * 15
+        evaluator = EagerCopyEvaluator(automaton)
+        assert evaluator.evaluate(document) == set(spanner.evaluate(document))
+        assert evaluator.count(document) == spanner.count(document)
+
+    def test_rejects_nondeterministic_automaton(self):
+        broken = figure3_eva().copy()
+        broken.add_letter_transition("q1", "a", "q5")
+        with pytest.raises(NotDeterministicError):
+            EagerCopyEvaluator(broken)
+
+    def test_partial_outputs_structure(self, fig3_eva):
+        outputs = EagerCopyEvaluator(fig3_eva).partial_outputs("ab")
+        assert "q9" in outputs
+        assert len(outputs["q9"]) == 3

@@ -1,0 +1,167 @@
+"""Unit tests for repro.automata.eva (extended variable-set automata)."""
+
+import pytest
+
+from repro.core.errors import CompilationError
+from repro.core.mappings import Mapping
+from repro.core.spans import Span
+from repro.automata.builders import EVABuilder, marker_set
+from repro.automata.eva import ExtendedVA
+from repro.automata.markers import MarkerSet, open_
+
+
+def simple_eva() -> ExtendedVA:
+    """Captures the whole document into x over alphabet {a}."""
+    return (
+        EVABuilder()
+        .initial(0)
+        .final(3)
+        .capture(0, ["x"], [], 1)
+        .letter(1, "a", 1)
+        .capture(1, [], ["x"], 3)
+        .build()
+    )
+
+
+class TestConstruction:
+    def test_sizes(self, fig3_eva):
+        assert fig3_eva.num_states == 10
+        assert fig3_eva.num_variable_transitions == 7
+        assert fig3_eva.variables() == frozenset({"x", "y"})
+        assert fig3_eva.alphabet() == frozenset({"a", "b"})
+
+    def test_empty_marker_set_rejected(self):
+        eva = ExtendedVA()
+        with pytest.raises(CompilationError):
+            eva.add_variable_transition(0, MarkerSet(), 1)
+
+    def test_letter_transition_single_char(self):
+        eva = ExtendedVA()
+        with pytest.raises(CompilationError):
+            eva.add_letter_transition(0, "ab", 1)
+
+    def test_accessors(self, fig3_eva):
+        assert fig3_eva.letter_targets("q1", "a") == frozenset({"q4"})
+        assert fig3_eva.variable_targets("q0", marker_set(["x"], [])) == frozenset({"q1"})
+        assert set(fig3_eva.marker_sets_from("q0")) == {
+            marker_set(["x"], []),
+            marker_set(["y"], []),
+            marker_set(["x", "y"], []),
+        }
+
+    def test_missing_initial_raises(self):
+        with pytest.raises(CompilationError):
+            ExtendedVA().initial
+
+
+class TestDeterminism:
+    def test_figure3_is_deterministic(self, fig3_eva):
+        assert fig3_eva.is_deterministic()
+
+    def test_duplicate_letter_target_breaks_determinism(self, fig3_eva):
+        copy = fig3_eva.copy()
+        copy.add_letter_transition("q1", "a", "q5")
+        assert not copy.is_deterministic()
+
+    def test_duplicate_marker_target_breaks_determinism(self, fig3_eva):
+        copy = fig3_eva.copy()
+        copy.add_variable_transition("q0", marker_set(["x"], []), "q2")
+        assert not copy.is_deterministic()
+
+    def test_deterministic_successors(self, fig3_eva):
+        assert fig3_eva.deterministic_letter_successor("q1", "a") == "q4"
+        assert fig3_eva.deterministic_letter_successor("q1", "b") is None
+        assert (
+            fig3_eva.deterministic_variable_successor("q0", marker_set(["x"], []))
+            == "q1"
+        )
+
+    def test_deterministic_successor_raises_on_ambiguity(self, fig3_eva):
+        copy = fig3_eva.copy()
+        copy.add_letter_transition("q1", "a", "q5")
+        with pytest.raises(CompilationError):
+            copy.deterministic_letter_successor("q1", "a")
+
+
+class TestSemantics:
+    def test_figure3_on_ab(self, fig3_eva):
+        expected = {
+            Mapping({"x": Span(0, 2), "y": Span(1, 2)}),
+            Mapping({"x": Span(1, 2), "y": Span(0, 2)}),
+            Mapping({"x": Span(0, 2), "y": Span(0, 2)}),
+        }
+        assert fig3_eva.evaluate("ab") == expected
+
+    def test_figure3_on_ba_uses_only_the_self_loop_branch(self, fig3_eva):
+        # On "ba" only the q3 branch applies: x and y both span the whole
+        # document.
+        assert fig3_eva.evaluate("ba") == {
+            Mapping({"x": Span(0, 2), "y": Span(0, 2)})
+        }
+
+    def test_figure3_rejects_the_empty_document(self, fig3_eva):
+        assert fig3_eva.evaluate("") == set()
+
+    def test_simple_eva_whole_document_capture(self):
+        eva = simple_eva()
+        assert eva.evaluate("aaa") == {Mapping({"x": Span(0, 3)})}
+        # On the empty document the run may take only a single variable
+        # transition (alternation), so x cannot be both opened and closed.
+        assert eva.evaluate("") == set()
+
+    def test_runs_expose_states_and_steps(self, fig3_eva):
+        runs = list(fig3_eva.runs("ab"))
+        assert len(runs) == 3
+        assert all(run.states[0] == "q0" for run in runs)
+        assert all(run.states[-1] == "q9" for run in runs)
+
+    def test_empty_marker_skip_allowed(self):
+        # An automaton that reads 'a' without any variable transition.
+        eva = EVABuilder().initial(0).final(1).letter(0, "a", 1).build()
+        assert eva.evaluate("a") == {Mapping.EMPTY}
+
+    def test_open_and_close_in_same_set_empty_span(self):
+        eva = (
+            EVABuilder()
+            .initial(0)
+            .final(1)
+            .capture(0, ["x"], ["x"], 1)
+            .build()
+        )
+        assert eva.evaluate("") == {Mapping({"x": Span(0, 0)})}
+
+    def test_invalid_marker_reuse_rejected(self):
+        eva = (
+            EVABuilder()
+            .initial(0)
+            .final(3)
+            .capture(0, ["x"], [], 1)
+            .letter(1, "a", 2)
+            .capture(2, [], ["x"], 3)
+            .letter(3, "a", 1)
+            .build()
+        )
+        # One capture of x per document is possible; looping back would
+        # have to reuse the ⊣x marker, which makes the run invalid.
+        assert eva.evaluate("a") == {Mapping({"x": Span(0, 1)})}
+        assert eva.evaluate("aa") == set()
+
+
+class TestStructuralHelpers:
+    def test_copy_and_rename(self, fig3_eva):
+        renamed = fig3_eva.rename_states()
+        assert renamed.evaluate("ab") == fig3_eva.evaluate("ab")
+        assert renamed.num_states == fig3_eva.num_states
+
+    def test_sequential_and_functional(self, fig3_eva):
+        assert fig3_eva.is_sequential()
+        assert fig3_eva.is_functional()
+
+    def test_to_dot(self, fig3_eva):
+        assert "digraph" in fig3_eva.to_dot()
+
+    def test_repr(self, fig3_eva):
+        assert "ExtendedVA" in repr(fig3_eva)
+
+    def test_open_helper(self):
+        assert open_("x").is_open

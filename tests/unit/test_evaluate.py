@@ -1,0 +1,131 @@
+"""Unit tests for Algorithm 1 / 2 (repro.enumeration)."""
+
+import pytest
+
+from repro.core.errors import NotDeterministicError, NotSequentialError
+from repro.core.mappings import Mapping
+from repro.core.spans import Span
+from repro.automata.builders import EVABuilder
+from repro.automata.transforms import to_deterministic_sequential_eva
+from repro.enumeration.dag import BOTTOM, DagNode
+from repro.enumeration.enumerate import delay_profile, enumerate_mappings, mapping_from_steps
+from repro.enumeration.evaluate import evaluate
+from repro.enumeration.lazylist import LazyList
+from repro.automata.builders import marker_set
+from repro.workloads.spanners import figure3_eva
+
+
+class TestEvaluate:
+    def test_figure3_outputs(self, fig3_eva):
+        result = evaluate(fig3_eva, "ab")
+        assert set(result) == fig3_eva.evaluate("ab")
+        assert result.count() == 3
+        assert not result.is_empty()
+
+    def test_no_output_when_document_rejected(self, fig3_eva):
+        result = evaluate(fig3_eva, "")
+        assert result.is_empty()
+        assert list(result) == []
+        assert result.count() == 0
+
+    def test_empty_document(self):
+        eva = (
+            EVABuilder()
+            .initial(0)
+            .final(1)
+            .capture(0, ["x"], ["x"], 1)
+            .build()
+        )
+        result = evaluate(eva, "")
+        assert set(result) == {Mapping({"x": Span(0, 0)})}
+
+    def test_spanner_without_variables(self):
+        eva = EVABuilder().initial(0).final(1).letter(0, "a", 1).build()
+        assert set(evaluate(eva, "a")) == {Mapping.EMPTY}
+        assert set(evaluate(eva, "b")) == set()
+
+    def test_rejects_nondeterministic_automaton(self, fig3_eva):
+        broken = fig3_eva.copy()
+        broken.add_letter_transition("q1", "a", "q5")
+        with pytest.raises(NotDeterministicError):
+            evaluate(broken, "ab")
+
+    def test_sequentiality_check_optional(self):
+        # An automaton with an accepting run that leaves x open.
+        eva = EVABuilder().initial(0).final(1).capture(0, ["x"], [], 1).build()
+        with pytest.raises(NotSequentialError):
+            evaluate(eva, "", check_sequentiality=True)
+
+    def test_automaton_without_initial(self):
+        eva = EVABuilder().final(0).build()
+        with pytest.raises(NotSequentialError):
+            evaluate(eva, "a")
+
+    def test_agreement_with_reference_on_longer_documents(self, fig3_det, fig3_eva):
+        for document in ["ab", "aab", "abb", "aabb", "ababa"[:4]]:
+            assert set(evaluate(fig3_det, document)) == fig3_eva.evaluate(document)
+
+    def test_document_length_and_node_count(self, fig3_eva):
+        result = evaluate(fig3_eva, "ab")
+        assert result.document_length == 2
+        assert result.node_count() >= 3
+
+    def test_final_lists_only_contain_final_states(self, fig3_eva):
+        result = evaluate(fig3_eva, "ab")
+        assert set(result.final_lists) <= set(fig3_eva.finals)
+
+    def test_count_matches_enumeration_on_pipeline_output(self):
+        automaton = to_deterministic_sequential_eva(figure3_eva(), assume_sequential=True)
+        for document in ["ab", "aabb", "abab"]:
+            result = evaluate(automaton, document)
+            assert result.count() == len(list(result))
+
+
+class TestEnumerate:
+    def test_no_duplicates(self, fig3_eva):
+        result = evaluate(fig3_eva, "ab")
+        outputs = list(enumerate_mappings(result))
+        assert len(outputs) == len(set(outputs)) == 3
+
+    def test_mapping_from_steps(self):
+        steps = (
+            (marker_set(["x"], []), 0),
+            (marker_set(["y"], []), 1),
+            (marker_set([], ["x", "y"]), 3),
+        )
+        assert mapping_from_steps(steps) == Mapping({"x": Span(0, 3), "y": Span(1, 3)})
+
+    def test_mapping_from_steps_empty(self):
+        assert mapping_from_steps(()) == Mapping.EMPTY
+
+    def test_delay_profile_counts_outputs(self, fig3_eva):
+        result = evaluate(fig3_eva, "ab")
+        delays = delay_profile(result)
+        assert len(delays) == 3
+        assert all(delay >= 0 for delay in delays)
+
+    def test_delay_profile_with_limit(self, fig3_eva):
+        result = evaluate(fig3_eva, "ab")
+        assert len(delay_profile(result, limit=2)) == 2
+
+    def test_enumeration_is_lazy(self, fig3_eva):
+        result = evaluate(fig3_eva, "ab")
+        iterator = enumerate_mappings(result)
+        first = next(iterator)
+        assert isinstance(first, Mapping)
+
+
+class TestDagStructures:
+    def test_bottom_is_singleton(self):
+        from repro.enumeration.dag import Bottom
+
+        assert Bottom() is BOTTOM
+        assert repr(BOTTOM) == "⊥"
+
+    def test_dag_node_content(self):
+        markers = marker_set(["x"], [])
+        adjacency = LazyList()
+        adjacency.add(BOTTOM)
+        node = DagNode(markers, 4, adjacency)
+        assert node.content == (markers, 4)
+        assert "DagNode" in repr(node)

@@ -1,0 +1,147 @@
+"""Unit tests for the LazyList data structure (repro.enumeration.lazylist)."""
+
+import pytest
+
+from repro.enumeration.lazylist import LazyList
+
+
+def _singleton(value) -> LazyList:
+    """A fresh one-element list."""
+    lst = LazyList()
+    lst.add(value)
+    return lst
+
+
+class TestBasics:
+    def test_new_list_is_empty(self):
+        lst = LazyList()
+        assert lst.is_empty()
+        assert not lst
+        assert lst.to_list() == []
+        assert len(lst) == 0
+
+    def test_add_prepends(self):
+        lst = LazyList()
+        lst.add(1)
+        lst.add(2)
+        lst.add(3)
+        assert lst.to_list() == [3, 2, 1]
+        assert len(lst) == 3
+
+    def test_head(self):
+        lst = LazyList()
+        lst.add("a")
+        lst.add("b")
+        assert lst.head() == "b"
+
+    def test_head_of_empty_raises(self):
+        with pytest.raises(IndexError):
+            LazyList().head()
+
+    def test_repr(self):
+        lst = LazyList()
+        lst.add(1)
+        assert "1" in repr(lst)
+
+
+class TestLazyCopy:
+    def test_copy_sees_current_contents(self):
+        lst = LazyList()
+        lst.add(1)
+        copy = lst.lazycopy()
+        assert copy.to_list() == [1]
+
+    def test_copy_not_affected_by_later_add(self):
+        lst = LazyList()
+        lst.add(1)
+        copy = lst.lazycopy()
+        lst.add(2)
+        assert lst.to_list() == [2, 1]
+        assert copy.to_list() == [1]
+
+    def test_copy_not_affected_by_later_append(self):
+        lst = LazyList()
+        lst.add(1)
+        copy = lst.lazycopy()
+        other = LazyList()
+        other.add(9)
+        lst.append(other)
+        assert lst.to_list() == [1, 9]
+        assert copy.to_list() == [1]
+
+    def test_copy_of_empty(self):
+        copy = LazyList().lazycopy()
+        assert copy.is_empty()
+
+
+class TestAppend:
+    def test_append_to_empty_adopts_other(self):
+        lst = LazyList()
+        other = LazyList()
+        other.add(1)
+        lst.append(other)
+        assert lst.to_list() == [1]
+
+    def test_append_empty_is_noop(self):
+        lst = LazyList()
+        lst.add(1)
+        lst.append(LazyList())
+        assert lst.to_list() == [1]
+
+    def test_append_concatenates(self):
+        left = LazyList()
+        left.add(2)
+        left.add(1)
+        right = LazyList()
+        right.add(4)
+        right.add(3)
+        left.append(right)
+        assert left.to_list() == [1, 2, 3, 4]
+
+    def test_chained_appends(self):
+        target = LazyList()
+        for payload in ([1], [2, 3], [4]):
+            piece = LazyList()
+            for value in reversed(payload):
+                piece.add(value)
+            target.append(piece)
+        assert target.to_list() == [1, 2, 3, 4]
+
+    def test_add_after_append(self):
+        lst = LazyList()
+        lst.add(2)
+        other = LazyList()
+        other.add(3)
+        lst.append(other)
+        lst.add(1)
+        assert lst.to_list() == [1, 2, 3]
+
+    def test_double_append_through_shared_end_detected(self):
+        # Two lists sharing the same end cell may not both be extended: the
+        # second splice would overwrite an already-set next pointer, which
+        # is the signature of evaluating a non-deterministic automaton.
+        original = LazyList()
+        original.add(1)
+        alias = original.lazycopy()
+        original.append(_singleton(2))
+        with pytest.raises(RuntimeError):
+            alias.append(_singleton(3))
+
+
+class TestIterationSemantics:
+    def test_iteration_stops_at_end_pointer(self):
+        # A lazycopy must not observe cells appended to the original later.
+        original = LazyList()
+        original.add("x")
+        copy = original.lazycopy()
+        extension = LazyList()
+        extension.add("y")
+        original.append(extension)
+        assert list(copy) == ["x"]
+        assert list(original) == ["x", "y"]
+
+    def test_multiple_iterations_are_stable(self):
+        lst = LazyList()
+        for value in (3, 2, 1):
+            lst.add(value)
+        assert list(lst) == list(lst) == [1, 2, 3]

@@ -1,0 +1,96 @@
+"""Unit tests for repro.automata.markers."""
+
+import pytest
+
+from repro.automata.markers import Marker, MarkerSet, close, open_
+
+
+class TestMarker:
+    def test_open_and_close_helpers(self):
+        assert open_("x").is_open
+        assert close("x").is_close
+        assert open_("x").variable == "x"
+
+    def test_dual(self):
+        assert open_("x").dual() == close("x")
+        assert close("x").dual() == open_("x")
+
+    def test_invalid_variable(self):
+        with pytest.raises(ValueError):
+            Marker("", True)
+        with pytest.raises(ValueError):
+            Marker(7, True)
+
+    def test_equality_and_hash(self):
+        assert open_("x") == open_("x")
+        assert open_("x") != close("x")
+        assert open_("x") != open_("y")
+        assert len({open_("x"), open_("x"), close("x")}) == 2
+
+    def test_ordering_opens_before_closes(self):
+        markers = [close("a"), open_("b"), open_("a"), close("b")]
+        assert sorted(markers) == [open_("a"), open_("b"), close("a"), close("b")]
+
+    def test_comparison_operators(self):
+        assert open_("a") < close("a")
+        assert close("a") > open_("z")
+        assert open_("a") <= open_("a")
+        assert close("b") >= close("a")
+
+    def test_str_and_repr(self):
+        assert str(open_("x")) == "x⊢"
+        assert str(close("x")) == "⊣x"
+        assert "open" in repr(open_("x"))
+        assert "close" in repr(close("x"))
+
+
+class TestMarkerSet:
+    def test_construction_and_membership(self):
+        markers = MarkerSet([open_("x"), close("y")])
+        assert open_("x") in markers
+        assert close("x") not in markers
+        assert len(markers) == 2
+
+    def test_of_constructor(self):
+        assert MarkerSet.of(open_("x")) == MarkerSet([open_("x")])
+
+    def test_rejects_non_markers(self):
+        with pytest.raises(TypeError):
+            MarkerSet(["x"])
+
+    def test_empty_set_is_falsy(self):
+        assert not MarkerSet()
+        assert not MarkerSet().non_empty()
+        assert MarkerSet([open_("x")]).non_empty()
+
+    def test_variables_opened_closed(self):
+        markers = MarkerSet([open_("x"), open_("y"), close("y")])
+        assert markers.variables() == frozenset({"x", "y"})
+        assert markers.opened() == frozenset({"x", "y"})
+        assert markers.closed() == frozenset({"y"})
+
+    def test_restrict(self):
+        markers = MarkerSet([open_("x"), close("y")])
+        assert markers.restrict(["x"]) == MarkerSet([open_("x")])
+        assert markers.restrict([]) == MarkerSet()
+
+    def test_union_and_disjoint(self):
+        left = MarkerSet([open_("x")])
+        right = MarkerSet([close("x")])
+        assert left.union(right) == MarkerSet([open_("x"), close("x")])
+        assert left.isdisjoint(right)
+        assert not left.isdisjoint(left)
+
+    def test_canonical_order(self):
+        markers = MarkerSet([close("a"), open_("b")])
+        assert markers.canonical_order() == [open_("b"), close("a")]
+
+    def test_equality_with_frozenset(self):
+        assert MarkerSet([open_("x")]) == frozenset({open_("x")})
+
+    def test_hashable(self):
+        assert len({MarkerSet([open_("x")]), MarkerSet([open_("x")])}) == 1
+
+    def test_str(self):
+        assert str(MarkerSet()) == "{}"
+        assert str(MarkerSet([open_("x")])) == "{x⊢}"

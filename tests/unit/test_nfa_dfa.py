@@ -1,0 +1,148 @@
+"""Unit tests for repro.automata.nfa and repro.automata.dfa."""
+
+import pytest
+
+from repro.core.errors import CompilationError
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+
+
+def ends_with_ab_nfa() -> NFA:
+    """Accepts words over {a, b} ending in 'ab'."""
+    nfa = NFA()
+    nfa.set_initial(0)
+    nfa.add_final(2)
+    for symbol in "ab":
+        nfa.add_transition(0, symbol, 0)
+    nfa.add_transition(0, "a", 1)
+    nfa.add_transition(1, "b", 2)
+    return nfa
+
+
+class TestNFA:
+    def test_accepts(self):
+        nfa = ends_with_ab_nfa()
+        assert nfa.accepts("ab")
+        assert nfa.accepts("aab")
+        assert nfa.accepts("bbab")
+        assert not nfa.accepts("ba")
+        assert not nfa.accepts("")
+
+    def test_alphabet_and_sizes(self):
+        nfa = ends_with_ab_nfa()
+        assert nfa.alphabet() == frozenset({"a", "b"})
+        assert nfa.num_states == 3
+        assert nfa.num_transitions == 4
+
+    def test_epsilon_closure(self):
+        nfa = NFA()
+        nfa.set_initial(0)
+        nfa.add_epsilon_transition(0, 1)
+        nfa.add_epsilon_transition(1, 2)
+        assert nfa.epsilon_closure({0}) == frozenset({0, 1, 2})
+        assert nfa.epsilon_closure({2}) == frozenset({2})
+
+    def test_epsilon_transitions_in_acceptance(self):
+        nfa = NFA()
+        nfa.set_initial(0)
+        nfa.add_epsilon_transition(0, 1)
+        nfa.add_transition(1, "a", 2)
+        nfa.add_final(2)
+        assert nfa.accepts("a")
+        assert not nfa.accepts("")
+
+    def test_accepted_words(self):
+        nfa = ends_with_ab_nfa()
+        assert list(nfa.accepted_words(2)) == ["ab"]
+        assert list(nfa.accepted_words(3)) == ["aab", "bab"]
+
+    def test_count_words_of_length(self):
+        nfa = ends_with_ab_nfa()
+        for length in range(6):
+            expected = sum(1 for _ in nfa.accepted_words(length))
+            assert nfa.count_words_of_length(length) == expected
+
+    def test_single_char_transitions_only(self):
+        nfa = NFA()
+        with pytest.raises(CompilationError):
+            nfa.add_transition(0, "ab", 1)
+
+    def test_reverse(self):
+        nfa = ends_with_ab_nfa()
+        reverse = nfa.reverse()
+        # The reverse automaton accepts the mirror language: words starting
+        # with 'ba'.
+        assert reverse.accepts("ba")
+        assert reverse.accepts("baa")
+        assert not reverse.accepts("ab")
+
+    def test_accepts_without_initial(self):
+        assert not NFA().accepts("a")
+
+    def test_determinize_equivalence(self):
+        nfa = ends_with_ab_nfa()
+        dfa = nfa.determinize()
+        for word in ["", "a", "b", "ab", "ba", "aab", "abb", "abab"]:
+            assert dfa.accepts(word) == nfa.accepts(word)
+
+
+class TestDFA:
+    def build_mod3_dfa(self) -> DFA:
+        """Accepts words over {a} whose length is divisible by 3."""
+        dfa = DFA()
+        dfa.set_initial(0)
+        dfa.add_final(0)
+        dfa.add_transition(0, "a", 1)
+        dfa.add_transition(1, "a", 2)
+        dfa.add_transition(2, "a", 0)
+        return dfa
+
+    def test_accepts(self):
+        dfa = self.build_mod3_dfa()
+        assert dfa.accepts("")
+        assert dfa.accepts("aaa")
+        assert not dfa.accepts("aa")
+
+    def test_conflicting_transition_rejected(self):
+        dfa = DFA()
+        dfa.add_transition(0, "a", 1)
+        with pytest.raises(CompilationError):
+            dfa.add_transition(0, "a", 2)
+
+    def test_idempotent_transition_allowed(self):
+        dfa = DFA()
+        dfa.add_transition(0, "a", 1)
+        dfa.add_transition(0, "a", 1)
+        assert dfa.num_transitions == 1
+
+    def test_count_words_of_length(self):
+        dfa = self.build_mod3_dfa()
+        assert dfa.count_words_of_length(0) == 1
+        assert dfa.count_words_of_length(2) == 0
+        assert dfa.count_words_of_length(3) == 1
+
+    def test_count_words_up_to_length(self):
+        dfa = self.build_mod3_dfa()
+        assert dfa.count_words_up_to_length(6) == 3  # lengths 0, 3, 6
+
+    def test_count_negative_length_raises(self):
+        with pytest.raises(ValueError):
+            self.build_mod3_dfa().count_words_of_length(-1)
+
+    def test_minimize_preserves_language(self):
+        nfa = ends_with_ab_nfa()
+        dfa = nfa.determinize()
+        minimal = dfa.minimize()
+        for word in ["", "a", "ab", "aab", "abb", "abab", "bb"]:
+            assert minimal.accepts(word) == dfa.accepts(word)
+        assert minimal.num_states <= dfa.num_states
+
+    def test_rename_states(self):
+        dfa = self.build_mod3_dfa().rename_states()
+        assert dfa.accepts("aaa")
+        assert all(isinstance(state, int) for state in dfa.states)
+
+    def test_successor(self):
+        dfa = self.build_mod3_dfa()
+        assert dfa.successor(0, "a") == 1
+        assert dfa.successor(0, "b") is None

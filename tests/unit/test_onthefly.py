@@ -1,0 +1,75 @@
+"""Unit tests for on-the-fly determinized evaluation (repro.enumeration.onthefly)."""
+
+import pytest
+
+from repro.core.errors import NotSequentialError
+from repro.automata.builders import EVABuilder
+from repro.automata.eva import ExtendedVA
+from repro.automata.transforms import va_to_eva
+from repro.enumeration.onthefly import evaluate_on_the_fly
+from repro.regex.compiler import compile_to_va
+from repro.regex.semantics import evaluate_regex
+from repro.workloads.spanners import contact_pattern, figure1_document, figure2_va, figure3_eva
+
+
+class TestOnTheFlyEvaluation:
+    def test_matches_reference_on_figure3(self, fig3_eva):
+        for document in ["ab", "ba", "aabb", ""]:
+            result = evaluate_on_the_fly(fig3_eva, document)
+            assert set(result) == fig3_eva.evaluate(document)
+
+    def test_nondeterministic_sequential_input(self):
+        # A sequential but non-deterministic eVA whose two runs produce the
+        # same mapping; on-the-fly determinization must output it once.
+        extended = (
+            EVABuilder()
+            .initial(0)
+            .final(5)
+            .capture(0, ["x"], [], 1)
+            .capture(0, ["x"], [], 2)
+            .letter(1, "a", 3)
+            .letter(2, "a", 4)
+            .capture(3, [], ["x"], 5)
+            .capture(4, [], ["x"], 5)
+            .build()
+        )
+        assert not extended.is_deterministic()
+        outputs = list(evaluate_on_the_fly(extended, "a"))
+        assert len(outputs) == 1
+        assert set(outputs) == extended.evaluate("a")
+
+    def test_figure2_va_through_on_the_fly_route(self):
+        extended = va_to_eva(figure2_va())
+        for document in ["", "a", "aa"]:
+            outputs = list(evaluate_on_the_fly(extended, document))
+            assert set(outputs) == figure2_va().evaluate(document)
+            assert len(outputs) == len(set(outputs))
+
+    def test_regex_workload_without_upfront_determinization(self):
+        pattern = "a*x{a}(a|b)*"
+        extended = va_to_eva(compile_to_va(pattern, "ab"))
+        for document in ["a", "aab", "ba", "aaa"]:
+            result = evaluate_on_the_fly(extended, document)
+            assert set(result) == evaluate_regex(pattern, document)
+
+    def test_counting_on_the_dag(self, fig3_eva):
+        result = evaluate_on_the_fly(fig3_eva, "ab")
+        assert result.count() == 3
+
+    def test_contact_example(self):
+        extended = va_to_eva(compile_to_va(contact_pattern(), figure1_document().text))
+        result = evaluate_on_the_fly(extended, figure1_document())
+        assert result.count() == 2
+
+    def test_sequentiality_check(self):
+        eva = EVABuilder().initial(0).final(1).capture(0, ["x"], [], 1).build()
+        with pytest.raises(NotSequentialError):
+            evaluate_on_the_fly(eva, "", check_sequentiality=True)
+
+    def test_requires_initial_state(self):
+        with pytest.raises(NotSequentialError):
+            evaluate_on_the_fly(ExtendedVA(), "a")
+
+    def test_no_output_on_rejected_document(self, fig3_eva):
+        result = evaluate_on_the_fly(fig3_eva, "c")
+        assert result.is_empty()

@@ -1,0 +1,221 @@
+"""Unit tests for repro.regex.parser and repro.regex.ast."""
+
+import pytest
+
+from repro.core.errors import CompilationError, ParseError
+from repro.regex.ast import (
+    AnyChar,
+    Capture,
+    CharClass,
+    Concat,
+    Epsilon,
+    Literal,
+    Optional,
+    Plus,
+    Star,
+    Union,
+    concat,
+    literal_string,
+    union,
+)
+from repro.regex.parser import parse_regex
+
+
+class TestBasicParsing:
+    def test_single_literal(self):
+        assert parse_regex("a") == Literal("a")
+
+    def test_literal_sequence(self):
+        assert parse_regex("abc") == Concat([Literal("a"), Literal("b"), Literal("c")])
+
+    def test_empty_pattern_is_epsilon(self):
+        assert parse_regex("") == Epsilon()
+        assert parse_regex("()") == Epsilon()
+
+    def test_wildcard(self):
+        assert parse_regex(".") == AnyChar()
+
+    def test_space_is_literal(self):
+        assert parse_regex("a b") == Concat([Literal("a"), Literal(" "), Literal("b")])
+
+    def test_union(self):
+        assert parse_regex("a|b") == Union([Literal("a"), Literal("b")])
+
+    def test_union_of_three(self):
+        node = parse_regex("a|b|c")
+        assert isinstance(node, Union)
+        assert len(node.parts) == 3
+
+    def test_grouping(self):
+        assert parse_regex("(ab)*") == Star(Concat([Literal("a"), Literal("b")]))
+
+    def test_postfix_operators(self):
+        assert parse_regex("a*") == Star(Literal("a"))
+        assert parse_regex("a+") == Plus(Literal("a"))
+        assert parse_regex("a?") == Optional(Literal("a"))
+        assert parse_regex("a*?") == Optional(Star(Literal("a")))
+
+    def test_postfix_binds_to_last_atom(self):
+        node = parse_regex("ab*")
+        assert node == Concat([Literal("a"), Star(Literal("b"))])
+
+    def test_parse_node_passthrough(self):
+        node = Literal("a")
+        assert parse_regex(node) is node
+
+    def test_non_string_rejected(self):
+        with pytest.raises(ParseError):
+            parse_regex(42)
+
+
+class TestCaptures:
+    def test_simple_capture(self):
+        assert parse_regex("x{a}") == Capture("x", Literal("a"))
+
+    def test_capture_with_long_name(self):
+        node = parse_regex("email_1{a+}")
+        assert node == Capture("email_1", Plus(Literal("a")))
+
+    def test_identifier_not_followed_by_brace_is_literal(self):
+        node = parse_regex("xy")
+        assert node == Concat([Literal("x"), Literal("y")])
+
+    def test_capture_inside_concat(self):
+        node = parse_regex("a x{b} c")
+        assert isinstance(node, Concat)
+        assert Capture("x", Literal("b")) in node.parts
+
+    def test_nested_captures(self):
+        node = parse_regex("x{a y{b} c}")
+        assert node.variable == "x"
+        assert node.variables() == frozenset({"x", "y"})
+
+    def test_capture_with_union_body(self):
+        node = parse_regex("x{a|b}")
+        assert node == Capture("x", Union([Literal("a"), Literal("b")]))
+
+    def test_unterminated_capture(self):
+        with pytest.raises(ParseError):
+            parse_regex("x{a")
+
+    def test_stray_open_brace(self):
+        with pytest.raises(ParseError):
+            parse_regex("{a}")
+
+    def test_escaped_braces_are_literals(self):
+        node = parse_regex(r"x\{a\}")
+        assert node == Concat([Literal("x"), Literal("{"), Literal("a"), Literal("}")])
+
+
+class TestCharClassesAndEscapes:
+    def test_simple_class(self):
+        assert parse_regex("[abc]") == CharClass("abc")
+
+    def test_range(self):
+        assert parse_regex("[a-d]") == CharClass("abcd")
+
+    def test_mixed_class(self):
+        assert parse_regex("[a-c_x]") == CharClass("abc_x")
+
+    def test_negated_class(self):
+        node = parse_regex("[^ab]")
+        assert node == CharClass("ab", negated=True)
+
+    def test_class_with_leading_bracket(self):
+        assert parse_regex("[]a]") == CharClass("]a")
+
+    def test_invalid_range(self):
+        with pytest.raises(ParseError):
+            parse_regex("[z-a]")
+
+    def test_unterminated_class(self):
+        with pytest.raises(ParseError):
+            parse_regex("[abc")
+
+    def test_escape_shortcuts(self):
+        assert parse_regex(r"\d") == CharClass("0123456789")
+        assert parse_regex(r"\n") == Literal("\n")
+        assert parse_regex(r"\t") == Literal("\t")
+        assert parse_regex(r"\.") == Literal(".")
+        assert parse_regex(r"\\") == Literal("\\")
+
+    def test_class_with_escape_shortcut(self):
+        node = parse_regex(r"[\d_]")
+        assert node == CharClass("0123456789_")
+
+    def test_dangling_escape(self):
+        with pytest.raises(ParseError):
+            parse_regex("ab\\")
+
+
+class TestErrors:
+    def test_repetition_without_operand(self):
+        with pytest.raises(ParseError):
+            parse_regex("*a")
+
+    def test_unbalanced_parenthesis(self):
+        with pytest.raises(ParseError):
+            parse_regex("(ab")
+        with pytest.raises(ParseError):
+            parse_regex("ab)")
+
+    def test_stray_close_brace(self):
+        with pytest.raises(ParseError):
+            parse_regex("ab}")
+
+
+class TestAstHelpers:
+    def test_round_trip_through_str(self):
+        for pattern in ["a", "abc", "a|b", "(ab)*", "x{a+}b?", "[abc]", "[^ab]", "a.b"]:
+            node = parse_regex(pattern)
+            assert parse_regex(str(node)) == node
+
+    def test_variables(self):
+        assert parse_regex("x{a}y{b}").variables() == frozenset({"x", "y"})
+        assert parse_regex("ab").variables() == frozenset()
+
+    def test_literals(self):
+        assert parse_regex("a[bc]x{d}").literals() == frozenset("abcd")
+
+    def test_size(self):
+        assert parse_regex("ab").size() == 3  # concat + two literals
+
+    def test_needs_alphabet(self):
+        assert parse_regex(".").needs_alphabet()
+        assert parse_regex("[^a]").needs_alphabet()
+        assert not parse_regex("[ab]x{c}").needs_alphabet()
+
+    def test_concat_flattening(self):
+        node = concat(Literal("a"), concat(Literal("b"), Literal("c")))
+        assert node == Concat([Literal("a"), Literal("b"), Literal("c")])
+        assert concat() == Epsilon()
+        assert concat(Literal("a")) == Literal("a")
+
+    def test_union_flattening(self):
+        node = union(Literal("a"), union(Literal("b"), Literal("c")))
+        assert isinstance(node, Union)
+        assert len(node.parts) == 3
+        with pytest.raises(CompilationError):
+            union()
+
+    def test_literal_string(self):
+        assert literal_string("ab") == Concat([Literal("a"), Literal("b")])
+        assert literal_string("") == Epsilon()
+
+    def test_invalid_nodes(self):
+        with pytest.raises(CompilationError):
+            Literal("ab")
+        with pytest.raises(CompilationError):
+            CharClass("")
+        with pytest.raises(CompilationError):
+            Capture("", Literal("a"))
+        with pytest.raises(CompilationError):
+            Concat([Literal("a")])
+        with pytest.raises(CompilationError):
+            Union([Literal("a")])
+
+    def test_char_class_expand(self):
+        positive = CharClass("ab")
+        negative = CharClass("ab", negated=True)
+        assert positive.expand("abcd") == frozenset("ab")
+        assert negative.expand("abcd") == frozenset("cd")

@@ -1,0 +1,116 @@
+"""Unit tests for the Table 1 reference semantics (repro.regex.semantics)."""
+
+from repro.core.mappings import Mapping
+from repro.core.spans import Span
+from repro.regex.semantics import evaluate_regex, match_relation
+
+
+class TestBasicFormulas:
+    def test_epsilon_matches_empty_document_only(self):
+        assert evaluate_regex("", "") == {Mapping.EMPTY}
+        assert evaluate_regex("", "a") == set()
+
+    def test_literal(self):
+        assert evaluate_regex("a", "a") == {Mapping.EMPTY}
+        assert evaluate_regex("a", "b") == set()
+        assert evaluate_regex("a", "aa") == set()
+
+    def test_concatenation(self):
+        assert evaluate_regex("ab", "ab") == {Mapping.EMPTY}
+        assert evaluate_regex("ab", "ba") == set()
+
+    def test_union(self):
+        assert evaluate_regex("a|b", "a") == {Mapping.EMPTY}
+        assert evaluate_regex("a|b", "b") == {Mapping.EMPTY}
+        assert evaluate_regex("a|b", "c") == set()
+
+    def test_star(self):
+        for document in ["", "a", "aaaa"]:
+            assert evaluate_regex("a*", document) == {Mapping.EMPTY}
+        assert evaluate_regex("a*", "ab") == set()
+
+    def test_plus_and_optional(self):
+        assert evaluate_regex("a+", "") == set()
+        assert evaluate_regex("a+", "aa") == {Mapping.EMPTY}
+        assert evaluate_regex("a?", "") == {Mapping.EMPTY}
+        assert evaluate_regex("a?", "a") == {Mapping.EMPTY}
+        assert evaluate_regex("a?", "aa") == set()
+
+    def test_wildcard_and_classes(self):
+        assert evaluate_regex(".", "z") == {Mapping.EMPTY}
+        assert evaluate_regex("[ab]", "b") == {Mapping.EMPTY}
+        assert evaluate_regex("[^ab]", "c") == {Mapping.EMPTY}
+        assert evaluate_regex("[^ab]", "a") == set()
+
+
+class TestCaptures:
+    def test_capture_whole_document(self):
+        assert evaluate_regex("x{a+}", "aa") == {Mapping({"x": Span(0, 2)})}
+
+    def test_capture_with_context(self):
+        result = evaluate_regex("a*x{a}a*", "aaa")
+        assert result == {
+            Mapping({"x": Span(0, 1)}),
+            Mapping({"x": Span(1, 2)}),
+            Mapping({"x": Span(2, 3)}),
+        }
+
+    def test_nested_captures_introduction_example(self):
+        # γ = Σ* x{ Σ* y{Σ*} Σ* } Σ* produces quadratically many mappings.
+        result = evaluate_regex(".*x{.*y{.*}.*}.*", "ab")
+        # Every mapping assigns y a sub-span of x, and for |d| = 2 there are
+        # 15 such pairs of spans.
+        assert all(m["x"].contains(m["y"]) for m in result)
+        assert len(result) == 15
+
+    def test_capture_in_union_is_partial(self):
+        result = evaluate_regex("x{a}|b", "b")
+        assert result == {Mapping.EMPTY}
+        result = evaluate_regex("x{a}|b", "a")
+        assert result == {Mapping({"x": Span(0, 1)})}
+
+    def test_same_variable_twice_in_concat_yields_nothing(self):
+        # Table 1 requires disjoint domains for concatenation.
+        assert evaluate_regex("x{a}x{a}", "aa") == set()
+
+    def test_nested_same_variable_yields_nothing(self):
+        assert evaluate_regex("x{x{a}}", "a") == set()
+
+    def test_capture_under_star(self):
+        # Repeating a capture is only possible zero or one time.
+        result = evaluate_regex("(x{a})*", "a")
+        assert result == {Mapping({"x": Span(0, 1)})}
+        assert evaluate_regex("(x{a})*", "aa") == set()
+        assert evaluate_regex("(x{a})*", "") == {Mapping.EMPTY}
+
+    def test_optional_capture(self):
+        result = evaluate_regex("x{a}?b", "b")
+        assert result == {Mapping.EMPTY}
+        result = evaluate_regex("x{a}?b", "ab")
+        assert result == {Mapping({"x": Span(0, 1)})}
+
+    def test_empty_span_capture(self):
+        result = evaluate_regex("a(x{})b", "ab")
+        assert result == {Mapping({"x": Span(1, 1)})}
+
+
+class TestMatchRelation:
+    def test_literal_relation(self):
+        relation = match_relation("a", "aba")
+        spans = {span for span, _ in relation}
+        assert spans == {Span(0, 1), Span(2, 3)}
+
+    def test_epsilon_relation_every_position(self):
+        relation = match_relation("", "ab")
+        assert {span for span, _ in relation} == {Span(0, 0), Span(1, 1), Span(2, 2)}
+
+    def test_capture_relation_carries_mapping(self):
+        relation = match_relation("x{a}", "a")
+        assert (Span(0, 1), Mapping({"x": Span(0, 1)})) in relation
+
+    def test_star_relation_contains_all_repetitions(self):
+        relation = match_relation("a*", "aa")
+        spans = {span for span, _ in relation}
+        assert Span(0, 0) in spans
+        assert Span(0, 1) in spans
+        assert Span(0, 2) in spans

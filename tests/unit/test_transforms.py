@@ -1,0 +1,170 @@
+"""Unit tests for repro.automata.transforms (Section 4 translations)."""
+
+import pytest
+
+from repro.core.errors import CompilationError
+from repro.core.mappings import Mapping
+from repro.core.spans import Span
+from repro.automata.analysis import is_sequential
+from repro.automata.builders import VABuilder
+from repro.automata.eva import ExtendedVA
+from repro.automata.transforms import (
+    determinize,
+    eva_to_va,
+    relabel_states,
+    sequentialize,
+    to_deterministic_sequential_eva,
+    va_to_eva,
+)
+from repro.workloads.spanners import figure2_va, figure3_eva, proposition42_va
+
+DOCUMENTS = ["", "a", "b", "ab", "ba", "aa", "aab", "aba"]
+
+
+class TestVaToEva:
+    def test_semantics_preserved_on_figure2(self):
+        va = figure2_va()
+        eva = va_to_eva(va)
+        for document in DOCUMENTS:
+            assert eva.evaluate(document) == va.evaluate(document)
+
+    def test_variable_paths_are_condensed(self):
+        va = figure2_va()
+        eva = va_to_eva(va)
+        # The two-step paths q0 → q1 → q3 and q0 → q2 → q3 become single
+        # extended transitions labelled {x⊢, y⊢}.
+        from repro.automata.builders import marker_set
+
+        assert "q3" in eva.variable_targets("q0", marker_set(["x", "y"], []))
+
+    def test_functional_preserved(self):
+        eva = va_to_eva(figure2_va())
+        assert eva.is_functional()
+        assert eva.is_sequential()
+
+    def test_letter_transitions_copied(self):
+        eva = va_to_eva(figure2_va())
+        assert eva.letter_targets("q3", "a") == frozenset({"q3"})
+
+    def test_proposition42_blowup(self):
+        for pairs in (1, 2, 3, 4):
+            va = proposition42_va(pairs)
+            assert va.num_states == 3 * pairs + 2
+            assert va.num_transitions == 4 * pairs + 1
+            eva = va_to_eva(va)
+            # The eVA needs at least 2^pairs extended transitions out of c0.
+            from_c0 = sum(1 for _ in eva.variable_transitions_from("c0"))
+            assert from_c0 >= 2 ** pairs
+
+
+class TestEvaToVa:
+    def test_round_trip_semantics(self):
+        eva = figure3_eva()
+        va = eva_to_va(eva)
+        for document in DOCUMENTS:
+            assert va.evaluate(document) == eva.evaluate(document)
+
+    def test_single_marker_sets_need_no_chain_states(self):
+        eva = ExtendedVA()
+        eva.set_initial(0)
+        eva.add_final(1)
+        from repro.automata.builders import marker_set
+
+        eva.add_variable_transition(0, marker_set(["x"], ["x"]), 1)
+        va = eva_to_va(eva)
+        # Two phase copies per original state plus one chain state for the
+        # two-marker set.
+        assert va.num_states == 5
+        assert va.evaluate("") == {Mapping({"x": Span(0, 0)})}
+
+
+class TestDeterminize:
+    def test_determinize_produces_deterministic(self):
+        nondeterministic = figure3_eva().copy()
+        nondeterministic.add_letter_transition("q1", "a", "q5")
+        det = determinize(nondeterministic)
+        assert det.is_deterministic()
+
+    def test_determinize_preserves_semantics(self):
+        nondeterministic = figure3_eva().copy()
+        nondeterministic.add_letter_transition("q1", "a", "q5")
+        det = determinize(nondeterministic)
+        for document in DOCUMENTS:
+            assert det.evaluate(document) == nondeterministic.evaluate(document)
+
+    def test_determinize_requires_initial(self):
+        with pytest.raises(CompilationError):
+            determinize(ExtendedVA())
+
+    def test_relabel_states_small_integers(self):
+        det = determinize(figure3_eva())
+        relabelled = relabel_states(det)
+        assert all(isinstance(state, int) for state in relabelled.states)
+        assert relabelled.initial == 0
+        assert relabelled.evaluate("ab") == det.evaluate("ab")
+
+
+class TestSequentialize:
+    def build_non_sequential_va(self):
+        # Accepting run may leave x open: q0 -x⊢-> q1(final) -⊣x-> q2(final).
+        va = (
+            VABuilder()
+            .initial(0)
+            .final(1, 2)
+            .open(0, "x", 1)
+            .close(1, "x", 2)
+            .build()
+        )
+        return va
+
+    def test_sequentialize_removes_invalid_accepting_runs(self):
+        va = self.build_non_sequential_va()
+        assert not is_sequential(va)
+        sequential = sequentialize(va)
+        assert is_sequential(sequential)
+        assert sequential.evaluate("") == va.evaluate("")
+
+    def test_sequentialize_preserves_semantics_of_sequential_input(self):
+        eva = figure3_eva()
+        sequential = sequentialize(eva)
+        for document in DOCUMENTS:
+            assert sequential.evaluate(document) == eva.evaluate(document)
+
+    def test_sequentialize_requires_initial(self):
+        with pytest.raises(CompilationError):
+            sequentialize(ExtendedVA())
+
+
+class TestFullPipeline:
+    def test_pipeline_on_figure2(self):
+        va = figure2_va()
+        det = to_deterministic_sequential_eva(va)
+        assert det.is_deterministic()
+        assert is_sequential(det)
+        for document in DOCUMENTS:
+            assert det.evaluate(document) == va.evaluate(document)
+
+    def test_pipeline_on_figure3(self):
+        eva = figure3_eva()
+        det = to_deterministic_sequential_eva(eva, assume_sequential=True)
+        assert det.is_deterministic()
+        for document in DOCUMENTS:
+            assert det.evaluate(document) == eva.evaluate(document)
+
+    def test_pipeline_on_non_sequential_input(self):
+        va = TestSequentialize().build_non_sequential_va()
+        det = to_deterministic_sequential_eva(va)
+        assert det.is_deterministic()
+        assert is_sequential(det)
+        assert det.evaluate("") == {Mapping({"x": Span(0, 0)})}
+
+    def test_pipeline_functional_va_size_bound(self):
+        # Proposition 4.3: a functional VA with n states yields a
+        # deterministic seVA with at most 2^n states.
+        va = figure2_va()
+        det = to_deterministic_sequential_eva(va, assume_sequential=True)
+        assert det.num_states <= 2 ** va.num_states
+
+    def test_states_are_relabelled_to_integers(self):
+        det = to_deterministic_sequential_eva(figure2_va())
+        assert all(isinstance(state, int) for state in det.states)

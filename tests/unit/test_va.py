@@ -1,0 +1,168 @@
+"""Unit tests for repro.automata.va (classic variable-set automata)."""
+
+import pytest
+
+from repro.core.errors import CompilationError
+from repro.core.mappings import Mapping
+from repro.core.spans import Span
+from repro.automata.builders import VABuilder
+from repro.automata.markers import close, open_
+from repro.automata.va import VariableSetAutomaton, make_va
+
+
+def single_capture_va() -> VariableSetAutomaton:
+    """Accepts a*x{a}a* — captures one 'a' of a block of a's."""
+    return (
+        VABuilder()
+        .initial(0)
+        .final(3)
+        .letter(0, "a", 0)
+        .open(0, "x", 1)
+        .letter(1, "a", 2)
+        .close(2, "x", 3)
+        .letter(3, "a", 3)
+        .build()
+    )
+
+
+class TestConstruction:
+    def test_states_and_transitions(self):
+        va = single_capture_va()
+        assert va.num_states == 4
+        assert va.num_transitions == 5
+        assert va.size == 9
+        assert va.variables() == frozenset({"x"})
+        assert va.alphabet() == frozenset({"a"})
+
+    def test_initial_and_finals(self):
+        va = single_capture_va()
+        assert va.initial == 0
+        assert va.finals == frozenset({3})
+
+    def test_missing_initial_raises(self):
+        with pytest.raises(CompilationError):
+            VariableSetAutomaton().initial
+
+    def test_has_initial(self):
+        va = VariableSetAutomaton()
+        assert not va.has_initial
+        va.set_initial(0)
+        assert va.has_initial
+
+    def test_letter_transition_requires_single_char(self):
+        va = VariableSetAutomaton()
+        with pytest.raises(CompilationError):
+            va.add_letter_transition(0, "ab", 1)
+
+    def test_variable_transition_requires_marker(self):
+        va = VariableSetAutomaton()
+        with pytest.raises(CompilationError):
+            va.add_variable_transition(0, "x", 1)
+
+    def test_targets_accessors(self):
+        va = single_capture_va()
+        assert va.letter_targets(0, "a") == frozenset({0})
+        assert va.letter_targets(0, "b") == frozenset()
+        assert va.variable_targets(0, open_("x")) == frozenset({1})
+        assert va.variable_targets(0, close("x")) == frozenset()
+
+    def test_make_va_helper(self):
+        va = make_va(
+            states=[0, 1],
+            initial=0,
+            finals=[1],
+            letter_transitions=[(0, "a", 1)],
+            variable_transitions=[],
+        )
+        assert va.evaluate("a") == {Mapping.EMPTY}
+
+
+class TestSemantics:
+    def test_single_capture_on_aa(self):
+        va = single_capture_va()
+        assert va.evaluate("aa") == {
+            Mapping({"x": Span(0, 1)}),
+            Mapping({"x": Span(1, 2)}),
+        }
+
+    def test_no_match_on_wrong_letter(self):
+        assert single_capture_va().evaluate("b") == set()
+
+    def test_empty_document_no_match(self):
+        # The capture needs at least one 'a'.
+        assert single_capture_va().evaluate("") == set()
+
+    def test_empty_document_accepting_empty_run(self):
+        va = VariableSetAutomaton()
+        va.set_initial(0)
+        va.add_final(0)
+        assert va.evaluate("") == {Mapping.EMPTY}
+        assert va.evaluate("a") == set()
+
+    def test_runs_report_steps(self):
+        va = single_capture_va()
+        runs = list(va.runs("a"))
+        assert len(runs) == 1
+        assert runs[0].mapping() == Mapping({"x": Span(0, 1)})
+
+    def test_invalid_runs_are_pruned(self):
+        # Closing a variable that was never opened can never yield output.
+        va = VariableSetAutomaton()
+        va.set_initial(0)
+        va.add_close_transition(0, "x", 1)
+        va.add_final(1)
+        assert va.evaluate("") == set()
+
+    def test_unclosed_variable_not_output(self):
+        va = VariableSetAutomaton()
+        va.set_initial(0)
+        va.add_open_transition(0, "x", 1)
+        va.add_final(1)
+        assert va.evaluate("") == set()
+
+    def test_variable_opened_and_closed_at_same_position(self):
+        va = VariableSetAutomaton()
+        va.set_initial(0)
+        va.add_open_transition(0, "x", 1)
+        va.add_close_transition(1, "x", 2)
+        va.add_final(2)
+        assert va.evaluate("") == {Mapping({"x": Span(0, 0)})}
+
+    def test_marker_reuse_is_invalid(self):
+        # A loop opening x twice never produces a valid run beyond one use.
+        va = VariableSetAutomaton()
+        va.set_initial(0)
+        va.add_open_transition(0, "x", 1)
+        va.add_letter_transition(1, "a", 0)
+        va.add_close_transition(1, "x", 2)
+        va.add_final(2)
+        assert va.evaluate("a") == set()
+        assert va.evaluate("") == {Mapping({"x": Span(0, 0)})}
+
+
+class TestStructuralHelpers:
+    def test_copy_is_independent(self):
+        va = single_capture_va()
+        duplicate = va.copy()
+        duplicate.add_letter_transition(3, "b", 3)
+        assert "b" not in va.alphabet()
+        assert va.evaluate("aa") == duplicate.evaluate("aa") - set()
+
+    def test_rename_states_preserves_semantics(self):
+        va = single_capture_va()
+        renamed = va.rename_states()
+        assert renamed.evaluate("aaa") == va.evaluate("aaa")
+
+    def test_to_dot_contains_states(self):
+        dot = single_capture_va().to_dot()
+        assert "digraph" in dot
+        assert "doublecircle" in dot
+
+    def test_repr(self):
+        assert "VariableSetAutomaton" in repr(single_capture_va())
+
+    def test_sequential_and_functional_predicates(self, fig2_va):
+        assert fig2_va.is_sequential()
+        assert fig2_va.is_functional()
+        assert single_capture_va().is_sequential()
+        assert single_capture_va().is_functional()

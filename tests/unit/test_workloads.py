@@ -1,0 +1,160 @@
+"""Unit tests for the workload generators (repro.workloads) and builders."""
+
+from repro.automata.builders import EVABuilder, VABuilder, marker_set
+from repro.automata.markers import close, open_
+from repro.workloads.documents import (
+    contact_document,
+    dna_sequence,
+    random_document,
+    server_log,
+)
+from repro.workloads.spanners import (
+    contact_pattern,
+    figure1_document,
+    figure2_va,
+    figure3_eva,
+    keyword_pair_pattern,
+    nested_capture_regex,
+    proposition42_va,
+    random_census_nfa,
+    random_functional_va,
+    random_pattern,
+)
+
+
+class TestDocumentGenerators:
+    def test_contact_document_shape(self):
+        doc = contact_document(5, seed=1)
+        assert doc.text.count("<") == 5
+        assert doc.text.count(">") == 5
+        assert doc.text.count(", ") >= 4
+
+    def test_contact_document_deterministic(self):
+        assert contact_document(3, seed=2).text == contact_document(3, seed=2).text
+        assert contact_document(3, seed=2).text != contact_document(3, seed=3).text
+
+    def test_server_log(self):
+        doc = server_log(10, seed=0)
+        lines = doc.text.splitlines()
+        assert len(lines) == 10
+        assert all(line.startswith("2024-03-") for line in lines)
+
+    def test_server_log_error_rate(self):
+        all_errors = server_log(20, seed=0, error_rate=1.0)
+        assert all("ERROR" in line for line in all_errors.text.splitlines())
+
+    def test_dna_sequence(self):
+        doc = dna_sequence(100, seed=0)
+        assert len(doc) == 100
+        assert set(doc.text) <= set("ACGT")
+
+    def test_random_document(self):
+        doc = random_document(50, alphabet="xyz", seed=4)
+        assert len(doc) == 50
+        assert set(doc.text) <= set("xyz")
+
+
+class TestSpannerGenerators:
+    def test_figure1_document_length(self):
+        assert len(figure1_document()) == 28
+
+    def test_contact_pattern_on_generated_documents(self):
+        from repro import Spanner
+
+        spanner = Spanner.from_regex(contact_pattern())
+        doc = contact_document(4, seed=5)
+        rows = spanner.extract(doc)
+        assert len(rows) == 4
+        assert all("name" in row for row in rows)
+        assert all(("email" in row) != ("phone" in row) for row in rows)
+
+    def test_keyword_pair_pattern(self):
+        from repro import Spanner
+
+        spanner = Spanner.from_regex(keyword_pair_pattern("<", ">"))
+        rows = spanner.extract("a<b>c")
+        assert {row["gap"] for row in rows} == {"b"}
+
+    def test_nested_capture_regex(self):
+        formula = nested_capture_regex(3)
+        assert formula.variables() == frozenset({"x1", "x2", "x3"})
+        shallow = nested_capture_regex(1)
+        assert shallow.variables() == frozenset({"x1"})
+
+    def test_nested_capture_regex_rejects_zero(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            nested_capture_regex(0)
+
+    def test_proposition42_family_sizes(self):
+        for pairs in (1, 3, 5):
+            va = proposition42_va(pairs)
+            assert va.num_states == 3 * pairs + 2
+            assert va.num_transitions == 4 * pairs + 1
+            assert len(va.variables()) == 2 * pairs
+            assert va.is_sequential()
+
+    def test_proposition42_semantics(self):
+        va = proposition42_va(2)
+        mappings = va.evaluate("a")
+        # One mapping per choice of x_i / y_i per pair: 2^2 mappings.
+        assert len(mappings) == 4
+
+    def test_random_functional_va_is_functional(self):
+        for seed in range(3):
+            va = random_functional_va(num_blocks=4, num_variables=2, seed=seed)
+            assert va.is_functional()
+
+    def test_random_census_nfa_deterministic_generation(self):
+        first = random_census_nfa(5, "ab", 0.4, seed=9)
+        second = random_census_nfa(5, "ab", 0.4, seed=9)
+        assert first.num_transitions == second.num_transitions
+
+    def test_random_pattern_parses(self):
+        from repro.regex.parser import parse_regex
+
+        for seed in range(5):
+            parse_regex(random_pattern(seed=seed))
+
+    def test_figure_fixtures_are_well_formed(self):
+        assert figure2_va().is_functional()
+        assert figure3_eva().is_deterministic()
+
+
+class TestBuilders:
+    def test_va_builder(self):
+        va = (
+            VABuilder()
+            .state("isolated")
+            .initial(0)
+            .final(1)
+            .letter(0, "ab", 1)
+            .open(0, "x", 2)
+            .close(2, "x", 1)
+            .build()
+        )
+        assert "isolated" in va.states
+        assert va.letter_targets(0, "a") == frozenset({1})
+        assert va.letter_targets(0, "b") == frozenset({1})
+        assert va.variable_targets(0, open_("x")) == frozenset({2})
+        assert va.variable_targets(2, close("x")) == frozenset({1})
+
+    def test_eva_builder(self):
+        eva = (
+            EVABuilder()
+            .state("isolated")
+            .initial(0)
+            .final(1)
+            .letter(0, "ab", 1)
+            .capture(0, ["x"], ["y"], 1)
+            .build()
+        )
+        assert "isolated" in eva.states
+        assert eva.variable_targets(0, marker_set(["x"], ["y"])) == frozenset({1})
+
+    def test_marker_set_helper(self):
+        markers = marker_set(["x"], ["y"])
+        assert open_("x") in markers
+        assert close("y") in markers
+        assert len(markers) == 2
