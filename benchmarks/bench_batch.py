@@ -1,0 +1,208 @@
+"""B9 — multi-document batch throughput: reference vs compiled vs processes.
+
+Compares three ways of evaluating one spanner over a collection of
+documents:
+
+* ``reference``  — the legacy dict-based Algorithm 1, one document at a time;
+* ``compiled``   — the integer-indexed runtime (compile once, reuse dense
+  tables and scratch buffers across documents);
+* ``processes``  — the compiled runtime fanned out over a multiprocessing
+  pool (the automaton is pickled once per worker).
+
+Two workloads are measured: the Census reduction of Theorem 5.2 (a large
+automaton over a small alphabet — the worst case for per-character dict
+walking) and the Figure 1 contact-extraction scenario (a small automaton
+over long natural documents).
+
+Usage::
+
+    python benchmarks/bench_batch.py [--smoke] [--output report.json]
+
+``--smoke`` shrinks the workloads so the whole run takes a few seconds; it
+is what CI runs on every push.  The JSON report is always written (default
+``benchmarks/batch_report.json``) and uploaded as a CI artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.automata.transforms import to_deterministic_sequential_eva  # noqa: E402
+from repro.core.documents import DocumentCollection  # noqa: E402
+from repro.counting.census import CensusInstance  # noqa: E402
+from repro.runtime.batch import run_batch  # noqa: E402
+from repro.runtime.compiled import compile_eva  # noqa: E402
+from repro.spanners.spanner import Spanner  # noqa: E402
+from repro.workloads.collections import scenario  # noqa: E402
+from repro.workloads.spanners import random_census_nfa  # noqa: E402
+
+
+def timed_batch(compiled, collection, *, repeat: int = 1, **kwargs) -> tuple[float, int]:
+    """Best wall-clock seconds of draining a full batch run, plus the count.
+
+    The timed region drains the stream (i.e. runs the evaluation engine —
+    and, in process mode, the freeze/ship/thaw round trip); the mapping
+    count used for cross-engine verification is computed on one extra
+    untimed run so that the shared DAG-counting cost does not dilute the
+    engine comparison.
+    """
+    best = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        for _doc_id, _result in run_batch(compiled, collection, **kwargs):
+            pass
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    total = sum(
+        result.count() for _doc_id, result in run_batch(compiled, collection, **kwargs)
+    )
+    return best, total
+
+
+def census_collection(num_documents: int, num_states: int, length: int):
+    """The census workload: one det seVA, many copies of its document."""
+    instance = CensusInstance(
+        random_census_nfa(num_states, "ab", density=0.35, seed=13), length
+    )
+    automaton, document = instance.to_spanner()
+    deterministic = to_deterministic_sequential_eva(automaton, assume_sequential=True)
+    collection = DocumentCollection(name="census")
+    for index in range(num_documents):
+        collection.add(document, doc_id=f"census-{index}")
+    return compile_eva(deterministic, check_determinism=False), collection
+
+
+def bench_workload(name, compiled, collection, *, repeat, max_workers):
+    """Measure all three execution strategies on one workload."""
+    total_chars = collection.total_length()
+    rows = {}
+
+    reference_seconds, reference_count = timed_batch(
+        compiled, collection, engine="reference", repeat=repeat
+    )
+    compiled_seconds, compiled_count = timed_batch(
+        compiled, collection, engine="compiled", repeat=repeat
+    )
+    process_seconds, process_count = timed_batch(
+        compiled,
+        collection,
+        engine="compiled",
+        mode="processes",
+        chunk_size=max(1, len(collection) // (2 * max_workers)),
+        max_workers=max_workers,
+        repeat=repeat,
+    )
+    if not (reference_count == compiled_count == process_count):
+        raise AssertionError(
+            f"{name}: engines disagree — reference={reference_count}, "
+            f"compiled={compiled_count}, processes={process_count}"
+        )
+
+    for label, seconds in (
+        ("reference", reference_seconds),
+        ("compiled", compiled_seconds),
+        ("processes", process_seconds),
+    ):
+        rows[label] = {
+            "seconds": seconds,
+            "chars_per_second": total_chars / seconds if seconds else float("inf"),
+        }
+    rows["speedup_compiled_vs_reference"] = reference_seconds / compiled_seconds
+    rows["speedup_processes_vs_serial"] = compiled_seconds / process_seconds
+    return {
+        "workload": name,
+        "documents": len(collection),
+        "total_chars": total_chars,
+        "mappings": compiled_count,
+        "results": rows,
+    }
+
+
+def print_report(entry) -> None:
+    rows = entry["results"]
+    print(
+        f"\n### {entry['workload']}: {entry['documents']} documents, "
+        f"{entry['total_chars']} chars, {entry['mappings']} mappings"
+    )
+    print(f"{'strategy':<12} {'seconds':>10} {'chars/s':>14}")
+    for label in ("reference", "compiled", "processes"):
+        row = rows[label]
+        print(f"{label:<12} {row['seconds']:>10.4f} {row['chars_per_second']:>14.0f}")
+    print(
+        f"compiled vs reference: {rows['speedup_compiled_vs_reference']:.2f}x   "
+        f"processes vs serial: {rows['speedup_processes_vs_serial']:.2f}x"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny workloads for CI (a few seconds)"
+    )
+    parser.add_argument(
+        "--output",
+        default=os.path.join(os.path.dirname(__file__), "batch_report.json"),
+        help="path of the JSON report",
+    )
+    parser.add_argument(
+        "--max-workers", type=int, default=min(4, os.cpu_count() or 1)
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        census_args = dict(num_documents=4, num_states=5, length=5)
+        contact_args = dict(num_documents=4, scale=60)
+        repeat = 2
+    else:
+        census_args = dict(num_documents=16, num_states=6, length=9)
+        contact_args = dict(num_documents=16, scale=400)
+        repeat = 3
+
+    report = {
+        "smoke": args.smoke,
+        "max_workers": args.max_workers,
+        "cpu_count": os.cpu_count(),
+        "workloads": [],
+    }
+    if (os.cpu_count() or 1) < 2:
+        print(
+            "note: only one CPU is available — process mode pays its overhead "
+            "without any parallel speedup on this machine"
+        )
+
+    compiled, collection = census_collection(**census_args)
+    entry = bench_workload(
+        "census", compiled, collection, repeat=repeat, max_workers=args.max_workers
+    )
+    report["workloads"].append(entry)
+    print_report(entry)
+
+    contacts = scenario(
+        "contacts", num_documents=contact_args["num_documents"], scale=contact_args["scale"]
+    )
+    spanner = Spanner.from_regex(contacts.pattern)
+    compiled = spanner.runtime("".join(doc.text for doc in contacts.collection))
+    entry = bench_workload(
+        "contacts",
+        compiled,
+        contacts.collection,
+        repeat=repeat,
+        max_workers=args.max_workers,
+    )
+    report["workloads"].append(entry)
+    print_report(entry)
+
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"\nreport written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,7 +29,7 @@ Quickstart
 ['Ada']
 """
 
-from repro.core.documents import Document
+from repro.core.documents import Document, DocumentCollection
 from repro.core.errors import (
     CompilationError,
     EvaluationError,
@@ -45,6 +45,7 @@ from repro.spanners.spanner import Spanner
 __all__ = [
     "CompilationError",
     "Document",
+    "DocumentCollection",
     "EvaluationError",
     "Mapping",
     "NotDeterministicError",

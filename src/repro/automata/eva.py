@@ -70,6 +70,11 @@ class ExtendedVA:
         self._letter: dict[State, dict[str, set[State]]] = {}
         # state -> MarkerSet -> set of targets
         self._variable: dict[State, dict[MarkerSet, set[State]]] = {}
+        # Memoized frozenset views handed out by letter_targets /
+        # variable_targets, invalidated on mutation, so repeated calls to
+        # the accessors don't allocate a fresh frozenset each time.
+        self._letter_targets_cache: dict[tuple[State, str], frozenset[State]] = {}
+        self._variable_targets_cache: dict[tuple[State, MarkerSet], frozenset[State]] = {}
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -97,6 +102,7 @@ class ExtendedVA:
         self.add_state(source)
         self.add_state(target)
         self._letter.setdefault(source, {}).setdefault(symbol, set()).add(target)
+        self._letter_targets_cache.pop((source, symbol), None)
 
     def add_variable_transition(
         self, source: State, markers: MarkerSet | Iterable[Marker], target: State
@@ -108,6 +114,7 @@ class ExtendedVA:
         self.add_state(source)
         self.add_state(target)
         self._variable.setdefault(source, {}).setdefault(marker_set, set()).add(target)
+        self._variable_targets_cache.pop((source, marker_set), None)
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -151,12 +158,22 @@ class ExtendedVA:
         return frozenset(found)
 
     def letter_targets(self, state: State, symbol: str) -> frozenset[State]:
-        """Targets of letter transitions from *state* on *symbol*."""
-        return frozenset(self._letter.get(state, {}).get(symbol, ()))
+        """Targets of letter transitions from *state* on *symbol* (memoized)."""
+        key = (state, symbol)
+        targets = self._letter_targets_cache.get(key)
+        if targets is None:
+            targets = frozenset(self._letter.get(state, {}).get(symbol, ()))
+            self._letter_targets_cache[key] = targets
+        return targets
 
     def variable_targets(self, state: State, markers: MarkerSet) -> frozenset[State]:
-        """Targets of the extended variable transition from *state* labelled *markers*."""
-        return frozenset(self._variable.get(state, {}).get(markers, ()))
+        """Targets of the extended variable transition from *state* labelled *markers* (memoized)."""
+        key = (state, markers)
+        targets = self._variable_targets_cache.get(key)
+        if targets is None:
+            targets = frozenset(self._variable.get(state, {}).get(markers, ()))
+            self._variable_targets_cache[key] = targets
+        return targets
 
     def marker_sets_from(self, state: State) -> Iterator[MarkerSet]:
         """``Markers_δ(q)``: the marker sets labelling variable transitions from *state*."""

@@ -1,6 +1,6 @@
 """Command line interface: ``python -m repro``.
 
-Three subcommands expose the library's main operations on files (or stdin):
+Four subcommands expose the library's main operations on files (or stdin):
 
 ``extract``
     Evaluate a regex-formula spanner over a document and print one line per
@@ -12,6 +12,11 @@ Three subcommands expose the library's main operations on files (or stdin):
 ``inspect``
     Compile a spanner and print the pipeline report and the size statistics
     of the resulting deterministic sequential eVA.
+
+``batch``
+    Compile once and evaluate over many document files with the batch
+    engine, serially or across worker processes, printing one JSON line per
+    document.
 """
 
 from __future__ import annotations
@@ -21,8 +26,9 @@ import json
 import sys
 from typing import Iterable
 
-from repro.core.documents import Document
+from repro.core.documents import Document, DocumentCollection
 from repro.io.serialization import mapping_to_dict
+from repro.runtime.batch import ENGINES, MODES
 from repro.spanners.spanner import Spanner
 
 __all__ = ["build_parser", "main"]
@@ -61,6 +67,39 @@ def build_parser() -> argparse.ArgumentParser:
 
     inspect = subparsers.add_parser("inspect", help="show the compilation pipeline report")
     add_common(inspect)
+
+    batch = subparsers.add_parser(
+        "batch", help="evaluate one spanner over many documents (compile once)"
+    )
+    batch.add_argument(
+        "pattern", help="regex formula with captures, e.g. '.*name{[A-Z][a-z]+} .*'"
+    )
+    batch.add_argument(
+        "documents", nargs="+", help="paths of the input documents (one per file)"
+    )
+    batch.add_argument(
+        "--mode",
+        choices=list(MODES),
+        default="serial",
+        help="evaluate in-process (serial) or fan out to worker processes",
+    )
+    batch.add_argument(
+        "--engine",
+        choices=list(ENGINES),
+        default="compiled",
+        help="the integer runtime (default) or the legacy dict-based loop",
+    )
+    batch.add_argument(
+        "--chunk-size", type=int, default=16, help="documents per worker task"
+    )
+    batch.add_argument(
+        "--max-workers", type=int, default=None, help="pool size in process mode"
+    )
+    batch.add_argument(
+        "--count-only",
+        action="store_true",
+        help="print only the per-document mapping counts, not the mappings",
+    )
 
     return parser
 
@@ -115,11 +154,49 @@ def _run_inspect(args: argparse.Namespace, document: Document, out) -> int:
     return 0
 
 
+def _run_batch(args: argparse.Namespace, out) -> int:
+    if args.chunk_size < 1:
+        print(f"repro batch: error: --chunk-size must be positive, got {args.chunk_size}", file=sys.stderr)
+        return 2
+    if args.max_workers is not None and args.max_workers < 1:
+        print(f"repro batch: error: --max-workers must be positive, got {args.max_workers}", file=sys.stderr)
+        return 2
+    try:
+        collection = DocumentCollection.from_files(args.documents)
+    except OSError as error:
+        print(f"repro batch: error: cannot read document: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"repro batch: error: {error}", file=sys.stderr)
+        return 2
+    spanner = Spanner.from_regex(args.pattern)
+    for doc_id, result in spanner.run_batch(
+        collection,
+        mode=args.mode,
+        engine=args.engine,
+        chunk_size=args.chunk_size,
+        max_workers=args.max_workers,
+    ):
+        record: dict[str, object] = {"doc": str(doc_id)}
+        if args.count_only:
+            record["count"] = result.count()
+        else:
+            document = collection[doc_id]
+            record["mappings"] = [
+                mapping_to_dict(mapping, document) for mapping in result
+            ]
+            record["count"] = len(record["mappings"])
+        print(json.dumps(record, sort_keys=True), file=out)
+    return 0
+
+
 def main(argv: list[str] | None = None, stdin: Iterable[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "batch":
+        return _run_batch(args, out)
     document = _read_document(args.document, stdin)
     if args.command == "extract":
         return _run_extract(args, document, out)

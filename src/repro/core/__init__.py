@@ -1,6 +1,6 @@
 """Fundamental data model: documents, spans, mappings and errors."""
 
-from repro.core.documents import Document
+from repro.core.documents import Document, DocumentCollection
 from repro.core.errors import (
     CompilationError,
     EvaluationError,
@@ -16,6 +16,7 @@ from repro.core.spans import Span
 __all__ = [
     "CompilationError",
     "Document",
+    "DocumentCollection",
     "EvaluationError",
     "Mapping",
     "NotDeterministicError",

@@ -14,7 +14,7 @@ from typing import Iterable, Iterator
 from repro.core.errors import SpanError
 from repro.core.spans import Span
 
-__all__ = ["Document", "as_text"]
+__all__ = ["Document", "DocumentCollection", "as_text"]
 
 
 def as_text(document: object) -> str:
@@ -140,3 +140,165 @@ class Document:
 def concatenate(documents: Iterable[Document | str], separator: str = "") -> Document:
     """Concatenate several documents into one."""
     return Document(separator.join(as_text(d) for d in documents))
+
+
+class DocumentCollection:
+    """An ordered, identified set of documents evaluated as one batch.
+
+    The batch engine (:mod:`repro.runtime.batch`) consumes collections:
+    every document carries a stable ``doc_id`` so that streamed results can
+    be attributed, and :meth:`alphabet` gives the union alphabet needed to
+    compile a wildcard pattern once for the whole batch.
+
+    >>> collection = DocumentCollection.from_texts(["abc", "abd"])
+    >>> len(collection)
+    2
+    >>> [doc_id for doc_id, _ in collection.items()]
+    ['doc-0', 'doc-1']
+    """
+
+    __slots__ = ("_documents", "_name")
+
+    def __init__(
+        self,
+        documents: Iterable[Document | str] | dict[object, Document | str] = (),
+        name: str | None = None,
+    ) -> None:
+        self._documents: dict[object, Document] = {}
+        self._name = name
+        if isinstance(documents, dict):
+            for doc_id, document in documents.items():
+                self.add(document, doc_id=doc_id)
+        else:
+            for document in documents:
+                self.add(document)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_texts(
+        cls, texts: Iterable[str], prefix: str = "doc", name: str | None = None
+    ) -> "DocumentCollection":
+        """Build a collection from plain strings with ids ``{prefix}-{i}``."""
+        collection = cls(name=name)
+        for index, text in enumerate(texts):
+            collection.add(Document(text), doc_id=f"{prefix}-{index}")
+        return collection
+
+    @classmethod
+    def coerce(
+        cls, documents: "DocumentCollection | Iterable[Document | str]"
+    ) -> "DocumentCollection":
+        """Return *documents* as a collection.
+
+        An existing collection passes through unchanged; any other iterable
+        of documents gets ids assigned by the one canonical policy (the
+        document's ``name`` if set, its position otherwise).  A bare string
+        is rejected — it is almost certainly a single document, not a
+        collection of characters.
+        """
+        if isinstance(documents, cls):
+            return documents
+        if isinstance(documents, str):
+            raise TypeError(
+                "expected a collection of documents; wrap a single document "
+                "in a list or a DocumentCollection"
+            )
+        collection = cls()
+        for index, document in enumerate(documents):
+            name = getattr(document, "name", None)
+            collection.add(document, doc_id=name if name is not None else index)
+        return collection
+
+    @classmethod
+    def from_files(
+        cls, paths: Iterable[str | os.PathLike], encoding: str = "utf-8"
+    ) -> "DocumentCollection":
+        """Load one document per path, keyed by the path itself."""
+        collection = cls()
+        for path in paths:
+            collection.add(Document.from_file(path, encoding=encoding))
+        return collection
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def add(self, document: Document | str, doc_id: object = None) -> object:
+        """Append *document* under *doc_id* (defaults to its name or index)."""
+        if isinstance(document, str):
+            document = Document(document)
+        if not isinstance(document, Document):
+            raise TypeError(f"expected a document (str or Document), got {document!r}")
+        if doc_id is None:
+            doc_id = document.name if document.name is not None else len(self._documents)
+        if doc_id in self._documents:
+            raise ValueError(f"duplicate document id {doc_id!r} in collection")
+        self._documents[doc_id] = document
+        return doc_id
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def name(self) -> str | None:
+        """An optional human-readable name for the collection."""
+        return self._name
+
+    def ids(self) -> list[object]:
+        """The document ids, in insertion order."""
+        return list(self._documents)
+
+    def items(self) -> Iterator[tuple[object, Document]]:
+        """Iterate over ``(doc_id, document)`` pairs in insertion order."""
+        return iter(self._documents.items())
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self._documents.values())
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __contains__(self, doc_id: object) -> bool:
+        return doc_id in self._documents
+
+    def __getitem__(self, doc_id: object) -> Document:
+        try:
+            return self._documents[doc_id]
+        except KeyError:
+            raise KeyError(f"no document with id {doc_id!r} in collection") from None
+
+    def alphabet(self) -> frozenset[str]:
+        """The union of the documents' alphabets."""
+        found: set[str] = set()
+        for document in self._documents.values():
+            found.update(document.text)
+        return frozenset(found)
+
+    def total_length(self) -> int:
+        """The summed length of all documents (batch throughput denominator)."""
+        return sum(len(document) for document in self._documents.values())
+
+    def chunks(self, size: int) -> Iterator["DocumentCollection"]:
+        """Split into sub-collections of at most *size* documents, in order.
+
+        Ids are preserved, so each chunk can be dispatched (e.g. to a
+        separate batch run) and the results remain attributable.
+        """
+        if size < 1:
+            raise ValueError(f"chunk size must be positive, got {size}")
+        chunk = DocumentCollection(name=self._name)
+        for doc_id, document in self._documents.items():
+            chunk.add(document, doc_id=doc_id)
+            if len(chunk) >= size:
+                yield chunk
+                chunk = DocumentCollection(name=self._name)
+        if len(chunk):
+            yield chunk
+
+    def __repr__(self) -> str:
+        label = f" name={self._name!r}" if self._name else ""
+        return f"DocumentCollection({len(self._documents)} documents{label})"

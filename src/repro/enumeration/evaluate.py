@@ -14,7 +14,8 @@ delay independent of ``|d|`` (see :mod:`repro.enumeration.enumerate`).
 
 from __future__ import annotations
 
-from typing import Hashable, Iterator
+from types import MappingProxyType
+from typing import Hashable, Iterator, Mapping as MappingView
 
 from repro.core.documents import as_text
 from repro.core.errors import NotDeterministicError, NotSequentialError
@@ -47,6 +48,7 @@ class ResultDag:
         self._automaton = automaton
         self._document_length = document_length
         self._final_lists = final_lists
+        self._final_lists_view = MappingProxyType(final_lists)
 
     @property
     def automaton(self) -> ExtendedVA:
@@ -59,9 +61,13 @@ class ResultDag:
         return self._document_length
 
     @property
-    def final_lists(self) -> dict[State, LazyList]:
-        """The per-accepting-state lists of last DAG nodes."""
-        return dict(self._final_lists)
+    def final_lists(self) -> MappingView[State, LazyList]:
+        """The per-accepting-state lists of last DAG nodes.
+
+        A read-only mapping view: enumeration and counting walk this on
+        every query, so the property must not copy the dict per access.
+        """
+        return self._final_lists_view
 
     def is_empty(self) -> bool:
         """Whether the spanner produced no output mapping at all."""

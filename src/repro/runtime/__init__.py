@@ -1,0 +1,22 @@
+"""The compiled runtime: dense integer tables and the batch engine.
+
+This package is the performance layer on top of the paper-faithful
+reference implementation: :func:`compile_eva` interns a deterministic
+sequential eVA into a :class:`CompiledEVA`, :func:`evaluate_compiled` runs
+Algorithm 1 on the dense tables, and :func:`run_batch` streams many
+documents through one compiled automaton, serially or across processes.
+"""
+
+from repro.runtime.batch import freeze_result, run_batch, thaw_result
+from repro.runtime.compiled import CompiledEVA, compile_eva
+from repro.runtime.engine import EvaluationScratch, evaluate_compiled
+
+__all__ = [
+    "CompiledEVA",
+    "EvaluationScratch",
+    "compile_eva",
+    "evaluate_compiled",
+    "freeze_result",
+    "run_batch",
+    "thaw_result",
+]

@@ -1,0 +1,210 @@
+"""The compiled, integer-indexed representation of a deterministic seVA.
+
+The reference evaluation engine (:mod:`repro.enumeration.evaluate`) walks
+hashable-state dictionaries and per-state ``frozenset`` tables for every
+character of every document.  For the batch workloads targeted by the
+roadmap the automaton is fixed while millions of characters stream through
+it, so it pays to *compile* the automaton once:
+
+* states are interned to the contiguous integers ``0 .. num_states - 1``;
+* alphabet symbols are interned to ``0 .. num_symbols - 1``;
+* letter transitions become one dense row per state (a list indexed by
+  symbol id, ``-1`` meaning "no transition");
+* extended variable transitions become one flat tuple of
+  ``(marker_set_id, target_state_id)`` pairs per state, with the marker
+  sets themselves interned into a side table.
+
+The resulting :class:`CompiledEVA` is immutable, cheap to pickle (plain
+tuples and lists of ints plus the interned marker sets), and is the input
+format of the integer-only inner loop in :mod:`repro.runtime.engine` and of
+the multiprocessing batch engine in :mod:`repro.runtime.batch`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.errors import CompilationError, NotDeterministicError
+from repro.automata.eva import ExtendedVA
+from repro.automata.markers import MarkerSet
+
+__all__ = ["CompiledEVA", "compile_eva"]
+
+State = Hashable
+
+#: Sentinel target meaning "no transition" in the dense letter table.
+NO_TARGET = -1
+
+
+class CompiledEVA:
+    """An immutable dense-table view of a deterministic sequential eVA.
+
+    Instances are produced by :func:`compile_eva`; all fields are plain
+    containers of ints (plus the interned marker-set table), which keeps
+    pickling cheap — the batch engine ships one compiled automaton to each
+    worker process and never re-derives the tables per document.
+    """
+
+    __slots__ = (
+        "state_objects",
+        "state_index",
+        "initial",
+        "final_ids",
+        "is_final",
+        "symbols",
+        "symbol_index",
+        "letter_table",
+        "marker_sets",
+        "marker_set_index",
+        "variable_table",
+        "source",
+    )
+
+    def __init__(
+        self,
+        *,
+        state_objects: tuple[State, ...],
+        initial: int,
+        final_ids: tuple[int, ...],
+        symbols: tuple[str, ...],
+        letter_table: tuple[tuple[int, ...], ...],
+        marker_sets: tuple[MarkerSet, ...],
+        variable_table: tuple[tuple[tuple[int, int], ...], ...],
+        source: ExtendedVA,
+    ) -> None:
+        self.state_objects = state_objects
+        self.state_index = {state: index for index, state in enumerate(state_objects)}
+        self.initial = initial
+        self.final_ids = final_ids
+        finals = set(final_ids)
+        self.is_final = tuple(index in finals for index in range(len(state_objects)))
+        self.symbols = symbols
+        self.symbol_index = {symbol: index for index, symbol in enumerate(symbols)}
+        self.letter_table = letter_table
+        self.marker_sets = marker_sets
+        self.marker_set_index = {
+            marker_set: index for index, marker_set in enumerate(marker_sets)
+        }
+        self.variable_table = variable_table
+        self.source = source
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_states(self) -> int:
+        """The number of interned states."""
+        return len(self.state_objects)
+
+    @property
+    def num_symbols(self) -> int:
+        """The number of interned alphabet symbols."""
+        return len(self.symbols)
+
+    @property
+    def num_marker_sets(self) -> int:
+        """The number of distinct interned marker sets."""
+        return len(self.marker_sets)
+
+    def encode_text(self, text: str) -> list[int]:
+        """Translate *text* into a list of symbol ids (``-1`` for foreign chars).
+
+        A character outside the compiled alphabet can never be consumed by
+        any letter transition, so the engine treats ``-1`` as "every live
+        run dies here".
+        """
+        get = self.symbol_index.get
+        return [get(character, NO_TARGET) for character in text]
+
+    # ------------------------------------------------------------------ #
+    # Pickling: the derived index dicts are rebuilt on load so that only
+    # the flat tables travel between processes.
+    # ------------------------------------------------------------------ #
+
+    def __getstate__(self) -> dict:
+        return {
+            "state_objects": self.state_objects,
+            "initial": self.initial,
+            "final_ids": self.final_ids,
+            "symbols": self.symbols,
+            "letter_table": self.letter_table,
+            "marker_sets": self.marker_sets,
+            "variable_table": self.variable_table,
+            "source": self.source,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(**state)
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledEVA(states={self.num_states}, symbols={self.num_symbols}, "
+            f"marker_sets={self.num_marker_sets})"
+        )
+
+
+def _ordered_states(automaton: ExtendedVA) -> tuple[State, ...]:
+    """A deterministic state order with the initial state first."""
+    initial = automaton.initial
+    rest = sorted((s for s in automaton.states if s != initial), key=repr)
+    return (initial, *rest)
+
+
+def compile_eva(automaton: ExtendedVA, *, check_determinism: bool = True) -> CompiledEVA:
+    """Intern *automaton* into a :class:`CompiledEVA`.
+
+    The automaton must be deterministic (the dense letter rows hold a
+    single target per symbol).  Sequentiality is not checked here — the
+    same caveat as for the reference engine applies.
+    """
+    if not automaton.has_initial:
+        raise CompilationError("cannot compile an automaton without an initial state")
+    if check_determinism and not automaton.is_deterministic():
+        raise NotDeterministicError(
+            "the compiled runtime requires a deterministic extended VA"
+        )
+
+    state_objects = _ordered_states(automaton)
+    state_index = {state: index for index, state in enumerate(state_objects)}
+    symbols = tuple(sorted(automaton.alphabet()))
+    symbol_index = {symbol: index for index, symbol in enumerate(symbols)}
+
+    letter_rows: list[tuple[int, ...]] = []
+    for state in state_objects:
+        row = [NO_TARGET] * len(symbols)
+        for symbol, target in automaton.letter_transitions_from(state):
+            column = symbol_index[symbol]
+            if row[column] != NO_TARGET:
+                raise NotDeterministicError(
+                    f"state {state!r} has two letter transitions on {symbol!r}"
+                )
+            row[column] = state_index[target]
+        letter_rows.append(tuple(row))
+
+    marker_sets: list[MarkerSet] = []
+    marker_set_index: dict[MarkerSet, int] = {}
+    variable_rows: list[tuple[tuple[int, int], ...]] = []
+    for state in state_objects:
+        pairs: list[tuple[int, int]] = []
+        for marker_set, target in automaton.variable_transitions_from(state):
+            set_id = marker_set_index.get(marker_set)
+            if set_id is None:
+                set_id = len(marker_sets)
+                marker_set_index[marker_set] = set_id
+                marker_sets.append(marker_set)
+            pairs.append((set_id, state_index[target]))
+        variable_rows.append(tuple(pairs))
+
+    final_ids = tuple(sorted(state_index[state] for state in automaton.finals))
+
+    return CompiledEVA(
+        state_objects=state_objects,
+        initial=state_index[automaton.initial],
+        final_ids=final_ids,
+        symbols=symbols,
+        letter_table=tuple(letter_rows),
+        marker_sets=tuple(marker_sets),
+        variable_table=tuple(variable_rows),
+        source=automaton,
+    )

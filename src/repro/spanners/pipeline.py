@@ -150,6 +150,31 @@ class CompilationPipeline:
             report.record("relabel", extended, time.perf_counter() - start)
         return extended, report
 
+    def intern(self, extended: ExtendedVA, report: CompilationReport):
+        """Intern a pipeline-produced deterministic seVA into dense tables.
+
+        The single place where a :class:`CompiledEVA` is built and its cost
+        recorded as an ``"intern"`` stage — both :meth:`compile_runtime`
+        and the :class:`~repro.spanners.Spanner` facade funnel through it.
+        """
+        from repro.runtime.compiled import compile_eva
+
+        start = time.perf_counter()
+        compiled = compile_eva(extended, check_determinism=False)
+        report.record("intern", extended, time.perf_counter() - start)
+        return compiled
+
+    def compile_runtime(self, extra_alphabet: Iterable[str] = ()):
+        """Run the pipeline and intern the result into a :class:`CompiledEVA`.
+
+        This is the compile-once entry point of the batch engine: the dense
+        integer tables are built a single time here and then reused across
+        every document (and pickled once per worker in process mode).  The
+        interning cost is recorded as its own pipeline stage.
+        """
+        extended, report = self.compile(extra_alphabet)
+        return self.intern(extended, report), report
+
     def _to_extended(
         self, alphabet: frozenset[str], report: CompilationReport
     ) -> tuple[ExtendedVA, bool]:

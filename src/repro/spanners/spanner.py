@@ -13,13 +13,22 @@ evaluation operations of the paper:
 Compilation into a deterministic sequential eVA happens lazily and is
 cached per alphabet, because wildcard patterns expand over the characters
 of the documents they are evaluated on.
+
+Two evaluation engines are available.  ``engine="compiled"`` (the default)
+interns the deterministic seVA into the integer-indexed
+:class:`~repro.runtime.compiled.CompiledEVA` and runs the dense inner loop
+of :mod:`repro.runtime.engine`; ``engine="reference"`` keeps the original
+dict-based Algorithm 1 of :mod:`repro.enumeration.evaluate`, which the
+property tests use to cross-check the compiled runtime.  Multi-document
+workloads go through :meth:`Spanner.run_batch`, which compiles once and
+streams every document through the same tables.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Iterator
 
-from repro.core.documents import as_text
+from repro.core.documents import DocumentCollection, as_text
 from repro.core.mappings import Mapping
 from repro.automata.analysis import AutomatonStatistics, statistics
 from repro.automata.eva import ExtendedVA
@@ -29,6 +38,9 @@ from repro.counting.count import count_mappings
 from repro.enumeration.evaluate import ResultDag, evaluate as run_evaluate
 from repro.regex.ast import RegexNode
 from repro.regex.parser import parse_regex
+from repro.runtime.batch import ENGINES, run_batch as run_batch_compiled
+from repro.runtime.compiled import CompiledEVA
+from repro.runtime.engine import evaluate_compiled
 from repro.spanners.pipeline import CompilationPipeline, CompilationReport
 
 __all__ = ["Spanner"]
@@ -41,11 +53,17 @@ class Spanner:
         self,
         source: str | RegexNode | VariableSetAutomaton | ExtendedVA | SpannerExpression,
         alphabet: Iterable[str] = (),
+        *,
+        engine: str = "compiled",
     ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         if isinstance(source, str):
             source = parse_regex(source)
         self._pipeline = CompilationPipeline(source, alphabet)
+        self._engine = engine
         self._cache: dict[frozenset[str], tuple[ExtendedVA, CompilationReport]] = {}
+        self._runtime_cache: dict[frozenset[str], CompiledEVA] = {}
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -82,6 +100,11 @@ class Spanner:
         """The original specification (regex AST, automaton or expression)."""
         return self._pipeline.source
 
+    @property
+    def engine(self) -> str:
+        """The default evaluation engine (``"compiled"`` or ``"reference"``)."""
+        return self._engine
+
     def variables(self) -> frozenset[str]:
         """The capture variables of the spanner."""
         return frozenset(self._pipeline.source.variables())
@@ -98,31 +121,93 @@ class Spanner:
         """Size statistics of the compiled automaton."""
         return statistics(self.compiled(document), check_properties=True)
 
-    def _compiled_for(self, document: object) -> tuple[ExtendedVA, CompilationReport]:
+    def runtime(self, document: object = "") -> CompiledEVA:
+        """The interned :class:`CompiledEVA` used to evaluate *document*."""
+        return self._runtime_for_key(self._alphabet_key(document))
+
+    def _alphabet_key(self, document: object) -> frozenset[str]:
         if self._pipeline.source_needs_alphabet():
-            key = frozenset(as_text(document))
-        else:
-            key = frozenset()
+            return frozenset(as_text(document))
+        return frozenset()
+
+    def _compiled_for(self, document: object) -> tuple[ExtendedVA, CompilationReport]:
+        return self._compiled_for_key(self._alphabet_key(document))
+
+    def _compiled_for_key(self, key: frozenset[str]) -> tuple[ExtendedVA, CompilationReport]:
         if key not in self._cache:
             self._cache[key] = self._pipeline.compile(key)
         return self._cache[key]
+
+    def _runtime_for_key(self, key: frozenset[str]) -> CompiledEVA:
+        compiled = self._runtime_cache.get(key)
+        if compiled is None:
+            automaton, report = self._compiled_for_key(key)
+            compiled = self._pipeline.intern(automaton, report)
+            self._runtime_cache[key] = compiled
+        return compiled
+
+    def _resolve_engine(self, engine: str | None) -> str:
+        engine = self._engine if engine is None else engine
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        return engine
 
     # ------------------------------------------------------------------ #
     # Evaluation
     # ------------------------------------------------------------------ #
 
-    def preprocess(self, document: object) -> ResultDag:
-        """Run only the preprocessing phase (Algorithm 1) on *document*."""
-        automaton, _report = self._compiled_for(document)
-        return run_evaluate(automaton, document, check_determinism=False)
+    def preprocess(self, document: object, *, engine: str | None = None) -> ResultDag:
+        """Run only the preprocessing phase (Algorithm 1) on *document*.
 
-    def enumerate(self, document: object) -> Iterator[Mapping]:
+        *engine* overrides the spanner's default: ``"compiled"`` runs the
+        integer runtime, ``"reference"`` the original dict-based loop.
+        """
+        if self._resolve_engine(engine) == "reference":
+            automaton, _report = self._compiled_for(document)
+            return run_evaluate(automaton, document, check_determinism=False)
+        return evaluate_compiled(self._runtime_for_key(self._alphabet_key(document)), document)
+
+    def enumerate(self, document: object, *, engine: str | None = None) -> Iterator[Mapping]:
         """Enumerate ``⟦γ⟧(d)`` with constant delay after linear preprocessing."""
-        return iter(self.preprocess(document))
+        return iter(self.preprocess(document, engine=engine))
 
-    def evaluate(self, document: object) -> list[Mapping]:
+    def evaluate(self, document: object, *, engine: str | None = None) -> list[Mapping]:
         """Return the full list of output mappings."""
-        return list(self.enumerate(document))
+        return list(self.enumerate(document, engine=engine))
+
+    def run_batch(
+        self,
+        documents: DocumentCollection | Iterable[object],
+        *,
+        mode: str = "serial",
+        engine: str | None = None,
+        chunk_size: int = 16,
+        max_workers: int | None = None,
+    ) -> Iterator[tuple[object, ResultDag]]:
+        """Evaluate the spanner over many documents, compiling exactly once.
+
+        The spanner is compiled over the *union* alphabet of the batch (a
+        wildcard expands to every character any document contains, which is
+        semantically transparent: transitions on characters a document does
+        not contain can never fire).  Results stream as ``(doc_id,
+        ResultDag)`` pairs in collection order; ``mode="processes"`` fans
+        chunks of documents out to a multiprocessing pool, pickling the
+        compiled automaton once per worker.
+        """
+        documents = DocumentCollection.coerce(documents)
+        if self._pipeline.source_needs_alphabet():
+            key = documents.alphabet()
+        else:
+            key = frozenset()
+        compiled = self._runtime_for_key(key)
+        return run_batch_compiled(
+            compiled,
+            documents,
+            mode=mode,
+            engine=self._resolve_engine(engine),
+            chunk_size=chunk_size,
+            max_workers=max_workers,
+        )
 
     def count(self, document: object) -> int:
         """Count ``|⟦γ⟧(d)|`` with Algorithm 3 (no enumeration)."""

@@ -1,5 +1,14 @@
 """Synthetic workload generators used by the examples, tests and benchmarks."""
 
+from repro.workloads.collections import (
+    BatchScenario,
+    contact_collection,
+    dna_collection,
+    log_collection,
+    random_collection,
+    scenario,
+    scenario_names,
+)
 from repro.workloads.documents import (
     contact_document,
     dna_sequence,
@@ -19,17 +28,24 @@ from repro.workloads.spanners import (
 )
 
 __all__ = [
+    "BatchScenario",
+    "contact_collection",
     "contact_document",
     "contact_expression",
     "contact_spanner",
+    "dna_collection",
     "dna_sequence",
     "figure1_document",
     "figure2_va",
     "figure3_eva",
+    "log_collection",
     "nested_capture_regex",
     "proposition42_va",
     "random_census_nfa",
+    "random_collection",
     "random_document",
     "random_functional_va",
+    "scenario",
+    "scenario_names",
     "server_log",
 ]

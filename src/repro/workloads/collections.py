@@ -1,0 +1,139 @@
+"""Multi-document workload scenarios for the batch engine.
+
+Each generator returns a :class:`~repro.core.documents.DocumentCollection`
+paired with the regex formula meant to be evaluated over it, so the batch
+benchmarks and the CLI smoke tests can say ``scenario("contacts", ...)``
+and get a self-contained workload.  Like the single-document generators in
+:mod:`repro.workloads.documents`, everything is deterministic given the
+``seed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.documents import DocumentCollection
+from repro.workloads.documents import (
+    contact_document,
+    dna_sequence,
+    random_document,
+    server_log,
+)
+from repro.workloads.spanners import contact_pattern
+
+__all__ = [
+    "BatchScenario",
+    "contact_collection",
+    "dna_collection",
+    "log_collection",
+    "random_collection",
+    "scenario",
+    "scenario_names",
+]
+
+
+@dataclass(frozen=True)
+class BatchScenario:
+    """A named multi-document workload: a collection plus its pattern."""
+
+    name: str
+    pattern: str
+    collection: DocumentCollection
+
+    @property
+    def num_documents(self) -> int:
+        return len(self.collection)
+
+    @property
+    def total_length(self) -> int:
+        return self.collection.total_length()
+
+
+def contact_collection(
+    num_documents: int, records_per_document: int = 50, seed: int = 0
+) -> DocumentCollection:
+    """Documents of contact records, as in the paper's Figure 1."""
+    collection = DocumentCollection(name="contacts")
+    for index in range(num_documents):
+        collection.add(
+            contact_document(records_per_document, seed=seed + index),
+            doc_id=f"contacts-{index}",
+        )
+    return collection
+
+
+def log_collection(
+    num_documents: int, lines_per_document: int = 100, seed: int = 0
+) -> DocumentCollection:
+    """Synthetic server logs, one file per document."""
+    collection = DocumentCollection(name="logs")
+    for index in range(num_documents):
+        collection.add(
+            server_log(lines_per_document, seed=seed + index),
+            doc_id=f"log-{index}",
+        )
+    return collection
+
+
+def dna_collection(
+    num_documents: int, length_per_document: int = 2000, seed: int = 0
+) -> DocumentCollection:
+    """DNA-like sequences over ``ACGT``."""
+    collection = DocumentCollection(name="dna")
+    for index in range(num_documents):
+        collection.add(
+            dna_sequence(length_per_document, seed=seed + index),
+            doc_id=f"dna-{index}",
+        )
+    return collection
+
+
+def random_collection(
+    num_documents: int, length_per_document: int = 1000, alphabet: str = "ab", seed: int = 0
+) -> DocumentCollection:
+    """Uniformly random strings over *alphabet*."""
+    collection = DocumentCollection(name="random")
+    for index in range(num_documents):
+        collection.add(
+            random_document(length_per_document, alphabet=alphabet, seed=seed + index),
+            doc_id=f"random-{index}",
+        )
+    return collection
+
+
+def scenario(name: str, num_documents: int = 8, scale: int | None = None, seed: int = 0) -> BatchScenario:
+    """Build a named batch scenario.
+
+    ``scale`` is the per-document size knob (records, lines or characters,
+    depending on the scenario); each scenario has a sensible default.
+    """
+    if name == "contacts":
+        return BatchScenario(
+            name,
+            contact_pattern(),
+            contact_collection(num_documents, scale if scale is not None else 50, seed),
+        )
+    if name == "logs":
+        return BatchScenario(
+            name,
+            r".*ERROR worker-w{[0-9]} .*",
+            log_collection(num_documents, scale if scale is not None else 100, seed),
+        )
+    if name == "dna":
+        return BatchScenario(
+            name,
+            r".*motif{TATA}.*",
+            dna_collection(num_documents, scale if scale is not None else 2000, seed),
+        )
+    if name == "random":
+        return BatchScenario(
+            name,
+            r".*x{a+b}.*",
+            random_collection(num_documents, scale if scale is not None else 1000, seed=seed),
+        )
+    raise ValueError(f"unknown batch scenario {name!r}; expected one of {scenario_names()}")
+
+
+def scenario_names() -> tuple[str, ...]:
+    """The available batch scenario names."""
+    return ("contacts", "logs", "dna", "random")

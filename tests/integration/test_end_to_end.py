@@ -13,7 +13,6 @@ from repro.baselines.naive import naive_evaluate
 from repro.baselines.polydelay import PolynomialDelayEnumerator
 from repro.counting.count import count_mappings
 from repro.enumeration.enumerate import delay_profile
-from repro.enumeration.evaluate import evaluate
 from repro.regex.compiler import compile_to_va
 from repro.regex.semantics import evaluate_regex
 from repro.workloads.documents import contact_document, dna_sequence, server_log

@@ -80,3 +80,52 @@ class TestCountAndInspect:
         help_text = parser.format_help()
         for command in ("extract", "count", "inspect"):
             assert command in help_text
+
+
+class TestBatch:
+    @pytest.fixture
+    def batch_paths(self, tmp_path):
+        first = tmp_path / "a.txt"
+        second = tmp_path / "b.txt"
+        first.write_text(figure1_document().text, encoding="utf-8")
+        second.write_text("Ada <ada@uc.cl>", encoding="utf-8")
+        return [str(first), str(second)]
+
+    def test_count_only(self, batch_paths):
+        code, output = run_cli(
+            ["batch", contact_pattern(), *batch_paths, "--count-only"]
+        )
+        assert code == 0
+        rows = [json.loads(line) for line in output.strip().splitlines()]
+        assert [row["count"] for row in rows] == [2, 1]
+        assert rows[0]["doc"].endswith("a.txt")
+
+    def test_full_mappings(self, batch_paths):
+        code, output = run_cli(["batch", contact_pattern(), *batch_paths])
+        assert code == 0
+        rows = [json.loads(line) for line in output.strip().splitlines()]
+        names = {
+            mapping["name"]["text"] for row in rows for mapping in row["mappings"]
+        }
+        assert names == {"John", "Jane", "Ada"}
+
+    def test_reference_engine(self, batch_paths):
+        code, output = run_cli(
+            ["batch", contact_pattern(), *batch_paths, "--engine", "reference",
+             "--count-only"]
+        )
+        assert code == 0
+        rows = [json.loads(line) for line in output.strip().splitlines()]
+        assert [row["count"] for row in rows] == [2, 1]
+
+    def test_process_mode(self, batch_paths):
+        code, output = run_cli(
+            ["batch", contact_pattern(), *batch_paths, "--mode", "processes",
+             "--max-workers", "2", "--chunk-size", "1", "--count-only"]
+        )
+        assert code == 0
+        rows = [json.loads(line) for line in output.strip().splitlines()]
+        assert [row["count"] for row in rows] == [2, 1]
+
+    def test_batch_in_parser_help(self):
+        assert "batch" in build_parser().format_help()

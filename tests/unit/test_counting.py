@@ -9,7 +9,7 @@ from repro.automata.transforms import to_deterministic_sequential_eva
 from repro.counting.census import CensusInstance, census_count, census_to_spanner
 from repro.counting.count import count_mappings
 from repro.enumeration.evaluate import evaluate
-from repro.workloads.spanners import figure2_va, figure3_eva, random_census_nfa
+from repro.workloads.spanners import figure2_va, random_census_nfa
 
 
 class TestCountMappings:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.documents import Document, as_text, concatenate
+from repro.core.documents import Document, DocumentCollection, as_text, concatenate
 from repro.core.errors import SpanError
 from repro.core.spans import Span
 
@@ -100,3 +100,64 @@ class TestEqualityAndHelpers:
         doc = Document.from_file(path)
         assert doc.text == "file content"
         assert doc.name == str(path)
+
+
+class TestDocumentCollection:
+    def test_from_texts_assigns_sequential_ids(self):
+        collection = DocumentCollection.from_texts(["ab", "cd", "ef"])
+        assert collection.ids() == ["doc-0", "doc-1", "doc-2"]
+        assert len(collection) == 3
+
+    def test_add_uses_document_name_then_index(self):
+        collection = DocumentCollection()
+        collection.add(Document("x", name="named"))
+        collection.add("anonymous")
+        assert collection.ids() == ["named", 1]
+
+    def test_duplicate_ids_rejected(self):
+        collection = DocumentCollection()
+        collection.add("a", doc_id="same")
+        with pytest.raises(ValueError):
+            collection.add("b", doc_id="same")
+
+    def test_non_document_rejected(self):
+        with pytest.raises(TypeError):
+            DocumentCollection().add(42)
+
+    def test_mapping_constructor_and_getitem(self):
+        collection = DocumentCollection({"one": "ab", "two": Document("cd")})
+        assert collection["one"].text == "ab"
+        assert "two" in collection
+        with pytest.raises(KeyError):
+            collection["three"]
+
+    def test_union_alphabet_and_total_length(self):
+        collection = DocumentCollection.from_texts(["ab", "bc"])
+        assert collection.alphabet() == frozenset("abc")
+        assert collection.total_length() == 4
+
+    def test_chunks_preserve_ids_and_order(self):
+        collection = DocumentCollection.from_texts(["a", "b", "c", "d", "e"])
+        chunks = list(collection.chunks(2))
+        assert [len(chunk) for chunk in chunks] == [2, 2, 1]
+        flattened = [doc_id for chunk in chunks for doc_id in chunk.ids()]
+        assert flattened == collection.ids()
+
+    def test_chunk_size_larger_than_collection(self):
+        collection = DocumentCollection.from_texts(["a", "b"])
+        chunks = list(collection.chunks(10))
+        assert len(chunks) == 1
+        assert chunks[0].ids() == collection.ids()
+
+    def test_non_positive_chunk_size_rejected(self):
+        with pytest.raises(ValueError):
+            list(DocumentCollection.from_texts(["a"]).chunks(0))
+
+    def test_from_files(self, tmp_path):
+        first = tmp_path / "a.txt"
+        second = tmp_path / "b.txt"
+        first.write_text("alpha", encoding="utf-8")
+        second.write_text("beta", encoding="utf-8")
+        collection = DocumentCollection.from_files([first, second])
+        assert len(collection) == 2
+        assert collection[str(first)].text == "alpha"

@@ -9,7 +9,7 @@ from repro.automata.transforms import va_to_eva
 from repro.enumeration.onthefly import evaluate_on_the_fly
 from repro.regex.compiler import compile_to_va
 from repro.regex.semantics import evaluate_regex
-from repro.workloads.spanners import contact_pattern, figure1_document, figure2_va, figure3_eva
+from repro.workloads.spanners import contact_pattern, figure1_document, figure2_va
 
 
 class TestOnTheFlyEvaluation:
