@@ -28,7 +28,8 @@ from typing import Iterable
 
 from repro.core.documents import Document, DocumentCollection
 from repro.io.serialization import mapping_to_dict
-from repro.runtime.batch import ENGINES, MODES
+from repro.runtime.batch import MODES
+from repro.runtime.plan import ENGINE_CHOICES
 from repro.spanners.spanner import Spanner
 
 __all__ = ["build_parser", "main"]
@@ -50,8 +51,20 @@ def build_parser() -> argparse.ArgumentParser:
             help="path to the input document (omit to read from stdin)",
         )
 
+    def add_engine(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--engine",
+            choices=list(ENGINE_CHOICES),
+            default="auto",
+            help="evaluation engine: let the planner decide (auto, default), "
+            "the dense-table arena runtime (compiled), on-the-fly subset "
+            "construction with no up-front determinization (compiled-otf), "
+            "or the legacy dict-based loop (reference)",
+        )
+
     extract = subparsers.add_parser("extract", help="enumerate the output mappings")
     add_common(extract)
+    add_engine(extract)
     extract.add_argument(
         "--format",
         choices=["text", "json", "spans"],
@@ -64,6 +77,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     count = subparsers.add_parser("count", help="count the output mappings (Algorithm 3)")
     add_common(count)
+    add_engine(count)
 
     inspect = subparsers.add_parser("inspect", help="show the compilation pipeline report")
     add_common(inspect)
@@ -83,12 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="serial",
         help="evaluate in-process (serial) or fan out to worker processes",
     )
-    batch.add_argument(
-        "--engine",
-        choices=list(ENGINES),
-        default="compiled",
-        help="the integer runtime (default) or the legacy dict-based loop",
-    )
+    add_engine(batch)
     batch.add_argument(
         "--chunk-size", type=int, default=16, help="documents per worker task"
     )
@@ -114,7 +123,7 @@ def _read_document(path: str | None, stdin: Iterable[str] | None = None) -> Docu
 def _run_extract(args: argparse.Namespace, document: Document, out) -> int:
     spanner = Spanner.from_regex(args.pattern)
     produced = 0
-    for mapping in spanner.enumerate(document):
+    for mapping in spanner.enumerate(document, engine=args.engine):
         if args.format == "json":
             print(json.dumps(mapping_to_dict(mapping, document), sort_keys=True), file=out)
         elif args.format == "spans":
@@ -129,7 +138,7 @@ def _run_extract(args: argparse.Namespace, document: Document, out) -> int:
 
 def _run_count(args: argparse.Namespace, document: Document, out) -> int:
     spanner = Spanner.from_regex(args.pattern)
-    print(spanner.count(document), file=out)
+    print(spanner.count(document, engine=args.engine), file=out)
     return 0
 
 

@@ -7,6 +7,13 @@ keeps, per state, only the *number* of partial runs instead of their
 compact representation: determinism guarantees each partial run encodes a
 distinct partial mapping, and sequentiality guarantees every accepting run
 contributes a (valid) output.
+
+The dict-based loop below is the paper-faithful reference; the compiled
+runtime provides integer rewrites of the same algorithm
+(:func:`repro.runtime.engine.count_compiled` on dense tables,
+:func:`repro.runtime.subset.count_subset` on the lazily determinized
+subset automaton) which the :class:`~repro.spanners.Spanner` facade
+selects through its execution plan.
 """
 
 from __future__ import annotations

@@ -63,39 +63,47 @@ def _paths(lazy_list: LazyList, suffix: tuple[tuple[MarkerSet, int], ...]) -> It
             yield from _paths(node.adjacency, ((node.markers, node.position),) + suffix)
 
 
-def enumerate_mappings(result: ResultDag) -> Iterator[Mapping]:
+def enumerate_mappings(result) -> Iterator[Mapping]:
     """Enumerate all output mappings of a preprocessed evaluation.
 
     The mappings are produced without repetition; the delay between two
     consecutive outputs depends only on the number of variables of the
-    evaluated automaton.
+    evaluated automaton.  A legacy :class:`ResultDag` is walked with the
+    recursive object traversal below; a compiled
+    :class:`~repro.runtime.dag.CompiledResultDag` arena delegates to its
+    own integer walker.
     """
+    if not isinstance(result, ResultDag):
+        yield from iter(result)
+        return
     for lazy_list in result.final_lists.values():
         for steps in _paths(lazy_list, ()):
             yield mapping_from_steps(steps)
 
 
 def delay_profile(
-    result: ResultDag,
+    result,
     clock: Callable[[], float] = time.perf_counter,
     limit: int | None = None,
 ) -> list[float]:
     """Measure the wall-clock delay before each enumerated output.
 
-    Returns the list of elapsed times (in seconds) between consecutive
-    outputs, the first entry being the time from the start of the
-    enumeration phase to the first output.  ``limit`` truncates the
-    enumeration, which keeps benchmark runtimes manageable for spanners
-    with huge outputs.
+    *result* may be a legacy :class:`ResultDag` or a compiled
+    :class:`~repro.runtime.dag.CompiledResultDag` arena — anything whose
+    iterator runs Algorithm 2.  Returns the list of elapsed times (in
+    seconds) between consecutive outputs, the first entry being the time
+    from the start of the enumeration phase to the first output.
+    ``limit`` truncates the enumeration, which keeps benchmark runtimes
+    manageable for spanners with huge outputs.
 
     The paper's claim (Section 3.2.2) is that these delays are bounded by a
-    function of the number of variables only; the benchmark
-    ``benchmarks/bench_delay.py`` verifies that their maximum does not grow
-    with the document.
+    function of the number of variables only; the benchmarks
+    ``benchmarks/bench_delay.py`` and ``benchmarks/bench_enumerate.py``
+    verify that their maximum does not grow with the document.
     """
     delays: list[float] = []
     previous = clock()
-    for index, _mapping in enumerate(enumerate_mappings(result)):
+    for index, _mapping in enumerate(iter(result)):
         now = clock()
         delays.append(now - previous)
         previous = now

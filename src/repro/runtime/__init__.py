@@ -1,21 +1,50 @@
-"""The compiled runtime: dense integer tables and the batch engine.
+"""The compiled runtime: dense integer tables, arenas and the batch engine.
 
 This package is the performance layer on top of the paper-faithful
-reference implementation: :func:`compile_eva` interns a deterministic
-sequential eVA into a :class:`CompiledEVA`, :func:`evaluate_compiled` runs
-Algorithm 1 on the dense tables, and :func:`run_batch` streams many
-documents through one compiled automaton, serially or across processes.
+reference implementation, organised around the
+:class:`~repro.runtime.plan.ExecutionPlan` abstraction:
+
+* :func:`compile_eva` interns a deterministic sequential eVA into a
+  :class:`CompiledEVA`;
+* :func:`evaluate_compiled_arena` runs Algorithm 1 on the dense tables and
+  builds the flat :class:`CompiledResultDag` node arena natively (no
+  ``DagNode`` objects), on which enumeration and counting are integer-only;
+* :class:`CompiledSubsetEVA` / :func:`evaluate_subset_arena` implement
+  on-the-fly subset construction, so non-deterministic sequential eVAs
+  evaluate without an up-front determinization;
+* :func:`count_compiled` / :func:`count_subset` are the integer rewrites of
+  Algorithm 3;
+* :func:`choose_plan` picks the engine from automaton statistics, and
+  :func:`run_batch` streams many documents through one compiled automaton,
+  serially or across processes.
 """
 
 from repro.runtime.batch import freeze_result, run_batch, thaw_result
 from repro.runtime.compiled import CompiledEVA, compile_eva
-from repro.runtime.engine import EvaluationScratch, evaluate_compiled
+from repro.runtime.dag import CompiledResultDag
+from repro.runtime.engine import (
+    EvaluationScratch,
+    count_compiled,
+    evaluate_compiled,
+    evaluate_compiled_arena,
+)
+from repro.runtime.plan import ENGINE_CHOICES, ExecutionPlan, choose_plan
+from repro.runtime.subset import CompiledSubsetEVA, count_subset, evaluate_subset_arena
 
 __all__ = [
     "CompiledEVA",
+    "CompiledResultDag",
+    "CompiledSubsetEVA",
+    "ENGINE_CHOICES",
     "EvaluationScratch",
+    "ExecutionPlan",
+    "choose_plan",
     "compile_eva",
+    "count_compiled",
+    "count_subset",
     "evaluate_compiled",
+    "evaluate_compiled_arena",
+    "evaluate_subset_arena",
     "freeze_result",
     "run_batch",
     "thaw_result",

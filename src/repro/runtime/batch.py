@@ -1,7 +1,7 @@
 """Multi-document batch evaluation over a compiled automaton.
 
-:func:`run_batch` streams ``(doc_id, ResultDag)`` pairs for every document
-of a collection, compiling nothing per document: the caller compiles once
+:func:`run_batch` streams ``(doc_id, result)`` pairs for every document of
+a collection, compiling nothing per document: the caller compiles once
 (typically via :meth:`repro.spanners.Spanner.run_batch`) and the engine
 reuses one :class:`~repro.runtime.engine.EvaluationScratch` per worker.
 
@@ -14,15 +14,20 @@ Two execution modes are supported:
 ``processes``
     Documents are chunked and fanned out to a ``multiprocessing`` pool.
     The compiled automaton is pickled **once per worker** (via the pool
-    initializer), not once per task.  Result DAGs are linked structures of
-    :class:`DagNode`/:class:`LazyList` cells, which naive pickling would
-    recurse through; workers instead flatten each DAG into a *portable*
-    form — flat tuples of ints in topological order — that the parent
-    rehydrates into an equivalent ``ResultDag``.
+    initializer), not once per task.  Results cross the process boundary
+    in the flat portable form of
+    :class:`~repro.runtime.dag.CompiledResultDag` — tuples of ints that
+    pickle in one piece — and the parent reattaches them to its own
+    compiled automaton; legacy object DAGs from the reference engine are
+    interned into an arena first.
 
-Both engines are available in both modes: ``engine="compiled"`` (the
-integer runtime) and ``engine="reference"`` (the legacy dict-based
-Algorithm 1), which the property tests use to cross-check results.
+Three engines are available in both modes: ``engine="compiled"`` (the
+arena-building integer runtime over a :class:`CompiledEVA`),
+``engine="compiled-otf"`` (the lazily determinized subset runtime over a
+:class:`~repro.runtime.subset.CompiledSubsetEVA` — pass that as the
+*compiled* argument; its discovered rows are shared across the whole
+batch) and ``engine="reference"`` (the legacy dict-based Algorithm 1),
+which the property tests use to cross-check results.
 """
 
 from __future__ import annotations
@@ -31,118 +36,75 @@ import multiprocessing
 from typing import Iterable, Iterator
 
 from repro.core.documents import DocumentCollection, as_text
-from repro.enumeration.dag import BOTTOM, DagNode
 from repro.enumeration.evaluate import ResultDag, evaluate as reference_evaluate
-from repro.enumeration.lazylist import LazyList
 from repro.runtime.compiled import CompiledEVA
-from repro.runtime.engine import EvaluationScratch, evaluate_compiled
+from repro.runtime.dag import CompiledResultDag
+from repro.runtime.engine import EvaluationScratch, evaluate_compiled_arena
+from repro.runtime.subset import CompiledSubsetEVA, evaluate_subset_arena
 
 __all__ = ["run_batch", "freeze_result", "thaw_result"]
 
-ENGINES = ("compiled", "reference")
+ENGINES = ("compiled", "compiled-otf", "reference")
 MODES = ("serial", "processes")
 
-#: ``(document_length, nodes, finals)`` where ``nodes[i]`` is
-#: ``(marker_set_id, position, adjacency_ids)`` in topological (children
-#: first) order and ``finals`` maps state ids to entry-node ids; ``-1``
-#: denotes the ⊥ sink in both adjacency and final entries.
-PortableDag = tuple[int, tuple, tuple]
-
 
 # ---------------------------------------------------------------------- #
-# Portable (process-crossing) DAG representation
+# Portable (process-crossing) result representation
 # ---------------------------------------------------------------------- #
 
 
-def freeze_result(result: ResultDag, compiled: CompiledEVA) -> PortableDag:
-    """Flatten a :class:`ResultDag` into picklable tuples of ints."""
-    marker_index = compiled.marker_set_index
-    state_index = compiled.state_index
-    node_ids: dict[int, int] = {}
-    nodes: list[tuple[int, int, tuple[int, ...]]] = []
+def freeze_result(
+    result: ResultDag | CompiledResultDag, compiled
+) -> tuple:
+    """Flatten a result into picklable tuples of ints.
 
-    def entry_ids(lazy_list: LazyList) -> tuple[int, ...]:
-        return tuple(
-            -1 if child is BOTTOM else node_ids[id(child)] for child in lazy_list
-        )
-
-    def visit(root: DagNode) -> None:
-        stack: list[tuple[DagNode, bool]] = [(root, False)]
-        while stack:
-            node, expanded = stack.pop()
-            if id(node) in node_ids:
-                continue
-            if expanded:
-                node_ids[id(node)] = len(nodes)
-                nodes.append(
-                    (marker_index[node.markers], node.position, entry_ids(node.adjacency))
-                )
-            else:
-                stack.append((node, True))
-                for child in node.adjacency:
-                    if child is not BOTTOM and id(child) not in node_ids:
-                        stack.append((child, False))
-
-    finals: list[tuple[int, tuple[int, ...]]] = []
-    for state, lazy_list in result.final_lists.items():
-        for entry in lazy_list:
-            if entry is not BOTTOM:
-                visit(entry)
-        finals.append((state_index[state], entry_ids(lazy_list)))
-
-    return (result.document_length, tuple(nodes), tuple(finals))
+    An arena result is already flat and serializes directly; a legacy
+    :class:`ResultDag` (the reference engine) is interned into an arena
+    first.  Final states travel under the compiled automaton's
+    process-stable keys, so the parent can thaw results produced by a
+    worker whose lazy subset runtime interned states in a different order.
+    """
+    if isinstance(result, CompiledResultDag):
+        return result.to_portable()
+    return CompiledResultDag.from_result_dag(result, compiled).to_portable()
 
 
-def thaw_result(portable: PortableDag, compiled: CompiledEVA) -> ResultDag:
-    """Rebuild a :class:`ResultDag` from its portable form.
+def thaw_result(portable: tuple, compiled) -> CompiledResultDag:
+    """Reattach a portable arena to *compiled*.
 
     Node sharing (and therefore path counts and enumeration output) is
-    preserved: portable node ids map one-to-one onto rebuilt nodes.
+    preserved: the arena arrays travel verbatim.
     """
-    document_length, nodes, finals = portable
-    marker_sets = compiled.marker_sets
-    state_objects = compiled.state_objects
-
-    def rebuild_list(entries: tuple[int, ...], built: list[DagNode]) -> LazyList:
-        lazy_list = LazyList()
-        for entry in reversed(entries):
-            lazy_list.add(BOTTOM if entry < 0 else built[entry])
-        return lazy_list
-
-    built: list[DagNode] = []
-    for set_id, position, adjacency in nodes:
-        built.append(DagNode(marker_sets[set_id], position, rebuild_list(adjacency, built)))
-
-    final_lists = {
-        state_objects[state_id]: rebuild_list(entries, built)
-        for state_id, entries in finals
-    }
-    return ResultDag(compiled.source, document_length, final_lists)
+    return CompiledResultDag.from_portable(portable, compiled)
 
 
 # ---------------------------------------------------------------------- #
 # Worker-process plumbing (module level so it pickles under any context)
 # ---------------------------------------------------------------------- #
 
-_worker_compiled: CompiledEVA | None = None
+_worker_compiled: CompiledEVA | CompiledSubsetEVA | None = None
 _worker_scratch: EvaluationScratch | None = None
 _worker_engine: str = "compiled"
 
 
-def _init_worker(compiled: CompiledEVA, engine: str) -> None:
+def _init_worker(compiled, engine: str) -> None:
     global _worker_compiled, _worker_scratch, _worker_engine
     _worker_compiled = compiled
-    _worker_scratch = EvaluationScratch(compiled)
+    _worker_scratch = (
+        EvaluationScratch(compiled) if isinstance(compiled, CompiledEVA) else None
+    )
     _worker_engine = engine
 
 
-def _evaluate_one(compiled: CompiledEVA, text: str, engine: str, scratch) -> ResultDag:
+def _evaluate_one(compiled, text: str, engine: str, scratch):
     if engine == "reference":
         return reference_evaluate(compiled.source, text, check_determinism=False)
-    return evaluate_compiled(compiled, text, scratch=scratch)
+    if engine == "compiled-otf":
+        return evaluate_subset_arena(compiled, text)
+    return evaluate_compiled_arena(compiled, text, scratch=scratch)
 
 
-def _process_chunk(chunk: list[tuple[object, str]]) -> list[tuple[object, PortableDag]]:
+def _process_chunk(chunk: list[tuple[object, str]]) -> list[tuple[object, tuple]]:
     compiled = _worker_compiled
     assert compiled is not None, "worker pool used before initialization"
     out = []
@@ -175,27 +137,29 @@ def _chunked(pairs: Iterator[tuple[object, str]], size: int) -> Iterator[list]:
 
 
 def run_batch(
-    compiled: CompiledEVA,
+    compiled: CompiledEVA | CompiledSubsetEVA,
     documents: DocumentCollection | Iterable[object],
     *,
     mode: str = "serial",
     engine: str = "compiled",
     chunk_size: int = 16,
     max_workers: int | None = None,
-) -> Iterator[tuple[object, ResultDag]]:
+) -> Iterator[tuple[object, ResultDag | CompiledResultDag]]:
     """Evaluate *compiled* over every document, streaming the results.
 
     Parameters
     ----------
     compiled:
-        The compiled automaton (see :func:`repro.runtime.compile_eva`).
+        The compiled automaton: a :class:`CompiledEVA` for the
+        ``compiled`` / ``reference`` engines, a :class:`CompiledSubsetEVA`
+        for ``compiled-otf``.
     documents:
         A :class:`~repro.core.documents.DocumentCollection` or any iterable
         of documents (``str`` or ``Document``).
     mode:
         ``"serial"`` (default) or ``"processes"``.
     engine:
-        ``"compiled"`` (default) or ``"reference"``.
+        ``"compiled"`` (default), ``"compiled-otf"`` or ``"reference"``.
     chunk_size:
         Documents per worker task in process mode (ignored when serial).
     max_workers:
@@ -203,7 +167,10 @@ def run_batch(
 
     Yields
     ------
-    ``(doc_id, ResultDag)`` pairs, in collection order.
+    ``(doc_id, result)`` pairs, in collection order; the compiled engines
+    yield :class:`CompiledResultDag` arenas, the reference engine legacy
+    :class:`ResultDag` objects (arenas in process mode, where everything
+    crosses as a portable arena).
     """
     # Validate and coerce eagerly: run_batch itself is a plain function, so
     # a bad mode, engine or documents argument fails at the call site, not
@@ -214,22 +181,33 @@ def run_batch(
         raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
     if chunk_size < 1:
         raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    if engine == "compiled-otf" and not isinstance(compiled, CompiledSubsetEVA):
+        raise ValueError(
+            "engine='compiled-otf' needs a CompiledSubsetEVA "
+            f"(got {type(compiled).__name__})"
+        )
+    if engine != "compiled-otf" and isinstance(compiled, CompiledSubsetEVA):
+        raise ValueError(
+            f"engine={engine!r} needs a CompiledEVA, not a CompiledSubsetEVA"
+        )
     collection = DocumentCollection.coerce(documents)
     return _stream_batch(compiled, collection, mode, engine, chunk_size, max_workers)
 
 
 def _stream_batch(
-    compiled: CompiledEVA,
+    compiled: CompiledEVA | CompiledSubsetEVA,
     collection: DocumentCollection,
     mode: str,
     engine: str,
     chunk_size: int,
     max_workers: int | None,
-) -> Iterator[tuple[object, ResultDag]]:
+) -> Iterator[tuple[object, ResultDag | CompiledResultDag]]:
     pairs = _pairs_of(collection)
 
     if mode == "serial":
-        scratch = EvaluationScratch(compiled)
+        scratch = (
+            EvaluationScratch(compiled) if isinstance(compiled, CompiledEVA) else None
+        )
         for doc_id, text in pairs:
             yield doc_id, _evaluate_one(compiled, text, engine, scratch)
         return

@@ -28,12 +28,36 @@ from repro.core.errors import CompilationError, NotDeterministicError
 from repro.automata.eva import ExtendedVA
 from repro.automata.markers import MarkerSet
 
-__all__ = ["CompiledEVA", "compile_eva"]
+__all__ = ["CompiledEVA", "compile_eva", "encode_symbols", "marker_decode_tables_for"]
 
 State = Hashable
 
 #: Sentinel target meaning "no transition" in the dense letter table.
 NO_TARGET = -1
+
+
+def marker_decode_tables_for(marker_sets) -> tuple[tuple, tuple]:
+    """Per-marker-set-id ``(opened, closed)`` variable-name tuples.
+
+    Shared by every compiled runtime (:class:`CompiledEVA` and the lazy
+    :class:`~repro.runtime.subset.CompiledSubsetEVA`), so the arena
+    enumerator decodes run steps identically whichever engine produced
+    the arena.
+    """
+    opens = tuple(tuple(sorted(s.opened())) for s in marker_sets)
+    closes = tuple(tuple(sorted(s.closed())) for s in marker_sets)
+    return opens, closes
+
+
+def encode_symbols(symbol_index: dict[str, int], text: str) -> list[int]:
+    """Translate *text* into symbol ids (``NO_TARGET`` for foreign chars).
+
+    A character outside the compiled alphabet can never be consumed by any
+    letter transition, so the engines treat ``-1`` as "every live run dies
+    here".
+    """
+    get = symbol_index.get
+    return [get(character, NO_TARGET) for character in text]
 
 
 class CompiledEVA:
@@ -58,6 +82,7 @@ class CompiledEVA:
         "marker_set_index",
         "variable_table",
         "source",
+        "_marker_decode",
     )
 
     def __init__(
@@ -87,6 +112,7 @@ class CompiledEVA:
         }
         self.variable_table = variable_table
         self.source = source
+        self._marker_decode: tuple[tuple, tuple] | None = None
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -107,15 +133,28 @@ class CompiledEVA:
         """The number of distinct interned marker sets."""
         return len(self.marker_sets)
 
-    def encode_text(self, text: str) -> list[int]:
-        """Translate *text* into a list of symbol ids (``-1`` for foreign chars).
+    def marker_decode_tables(self) -> tuple[tuple, tuple]:
+        """Per-marker-set-id ``(opened, closed)`` variable-name tuples.
 
-        A character outside the compiled alphabet can never be consumed by
-        any letter transition, so the engine treats ``-1`` as "every live
-        run dies here".
+        Precomputed once so the arena enumerator decodes each run step with
+        two tuple iterations instead of walking :class:`MarkerSet` objects.
         """
-        get = self.symbol_index.get
-        return [get(character, NO_TARGET) for character in text]
+        if self._marker_decode is None:
+            self._marker_decode = marker_decode_tables_for(self.marker_sets)
+        return self._marker_decode
+
+    def portable_state_key(self, state_id: int) -> int:
+        """A process-stable key for *state_id* (the id itself: compilation
+        is deterministic, so every process interns states identically)."""
+        return state_id
+
+    def resolve_state_key(self, key: int) -> int:
+        """Inverse of :meth:`portable_state_key`."""
+        return key
+
+    def encode_text(self, text: str) -> list[int]:
+        """Translate *text* into a list of symbol ids (``-1`` for foreign chars)."""
+        return encode_symbols(self.symbol_index, text)
 
     # ------------------------------------------------------------------ #
     # Pickling: the derived index dicts are rebuilt on load so that only

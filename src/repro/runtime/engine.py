@@ -20,29 +20,49 @@ work on it unchanged.
 from __future__ import annotations
 
 from repro.core.documents import as_text
-from repro.core.errors import EvaluationError
+from repro.core.errors import EvaluationError, NotDeterministicError
 from repro.enumeration.dag import BOTTOM, DagNode
 from repro.enumeration.evaluate import ResultDag
 from repro.enumeration.lazylist import LazyList
 from repro.runtime.compiled import CompiledEVA
+from repro.runtime.dag import NIL, CompiledResultDag
 
-__all__ = ["EvaluationScratch", "evaluate_compiled"]
+__all__ = [
+    "EvaluationScratch",
+    "count_compiled",
+    "evaluate_compiled",
+    "evaluate_compiled_arena",
+]
 
 
 class EvaluationScratch:
-    """Reusable per-document work buffers for :func:`evaluate_compiled`.
+    """Reusable per-document work buffers for the compiled engines.
 
-    Holds the two state-indexed slot arrays that the engine ping-pongs
-    between phases.  A scratch is tied to the state count of the automaton
-    it was created for; the batch engine keeps one per worker.
+    Holds the state-indexed slot arrays that the engines ping-pong between
+    phases: the legacy loop keeps per-state :class:`LazyList` slots, the
+    arena loop per-state ``(start, end)`` cell-index pairs.  A scratch is
+    tied to the state count of the automaton it was created for; the batch
+    engine keeps one per worker.
     """
 
-    __slots__ = ("num_states", "current", "pending")
+    __slots__ = (
+        "num_states",
+        "current",
+        "pending",
+        "cur_start",
+        "cur_end",
+        "pend_start",
+        "pend_end",
+    )
 
     def __init__(self, compiled: CompiledEVA) -> None:
         self.num_states = compiled.num_states
         self.current: list[LazyList | None] = [None] * self.num_states
         self.pending: list[LazyList | None] = [None] * self.num_states
+        self.cur_start = [NIL] * self.num_states
+        self.cur_end = [NIL] * self.num_states
+        self.pend_start = [NIL] * self.num_states
+        self.pend_end = [NIL] * self.num_states
 
 
 def evaluate_compiled(
@@ -154,3 +174,202 @@ def evaluate_compiled(
     scratch.pending = pending
 
     return ResultDag(compiled.source, n, final_lists)
+
+
+def evaluate_compiled_arena(
+    compiled: CompiledEVA,
+    document: object,
+    *,
+    scratch: EvaluationScratch | None = None,
+) -> CompiledResultDag:
+    """Algorithm 1 on the dense tables, building the node arena natively.
+
+    The same capturing/reading alternation as :func:`evaluate_compiled`,
+    but no :class:`DagNode` or :class:`LazyList` object is ever created:
+    DAG nodes are rows appended to parallel int arrays and lists are
+    ``(start, end)`` cell-index pairs held in the scratch's slot arrays.
+    The paper's ``lazycopy`` degenerates to copying two ints, ``add``
+    appends one cell, and ``append`` splices by assigning one next-pointer
+    (asserting the single-assignment discipline, as the object lists do).
+
+    Returns the flat :class:`CompiledResultDag`, on which enumeration and
+    counting run integer-only (see :mod:`repro.runtime.dag`).
+    """
+    text = as_text(document)
+    n = len(text)
+
+    if scratch is None:
+        scratch = EvaluationScratch(compiled)
+    elif scratch.num_states != compiled.num_states:
+        raise EvaluationError(
+            "the evaluation scratch was created for a different automaton "
+            f"({scratch.num_states} states, expected {compiled.num_states})"
+        )
+
+    cur_start = scratch.cur_start
+    cur_end = scratch.cur_end
+    pend_start = scratch.pend_start
+    pend_end = scratch.pend_end
+    variable_table = compiled.variable_table
+    letter_table = compiled.letter_table
+
+    node_markers: list[int] = []
+    node_positions: list[int] = []
+    node_starts: list[int] = []
+    node_ends: list[int] = []
+    cell_nodes: list[int] = [NIL]  # cell 0: the initial list [⊥]
+    cell_nexts: list[int] = [NIL]
+
+    initial = compiled.initial
+    cur_start[initial] = 0
+    cur_end[initial] = 0
+    active = [initial]
+
+    def capturing(position: int) -> None:
+        # The (start, end) snapshot *is* the paper's lazycopy: pairs are
+        # values, so the pre-phase lists are captured for free.
+        snapshot = [
+            (state, cur_start[state], cur_end[state])
+            for state in active
+            if variable_table[state]
+        ]
+        for state, old_start, old_end in snapshot:
+            for set_id, target in variable_table[state]:
+                node = len(node_markers)
+                node_markers.append(set_id)
+                node_positions.append(position)
+                node_starts.append(old_start)
+                node_ends.append(old_end)
+                # add(node) on the target's list.
+                cell = len(cell_nodes)
+                cell_nodes.append(node)
+                target_start = cur_start[target]
+                cell_nexts.append(target_start)
+                if target_start == NIL:
+                    cur_end[target] = cell
+                    active.append(target)
+                cur_start[target] = cell
+
+    position = 0
+    for symbol in compiled.encode_text(text):
+        capturing(position)
+
+        # Reading phase: move every live pair through its (unique) letter
+        # transition; symbol < 0 means a foreign character, every run dies.
+        next_active: list[int] = []
+        if symbol >= 0:
+            for state in active:
+                old_start = cur_start[state]
+                old_end = cur_end[state]
+                cur_start[state] = NIL
+                target = letter_table[state][symbol]
+                if target < 0:
+                    continue
+                target_start = pend_start[target]
+                if target_start == NIL:
+                    pend_start[target] = old_start
+                    pend_end[target] = old_end
+                    next_active.append(target)
+                else:
+                    # append(old_list): splice at the end of the target's
+                    # pending list; the end cell's next must still be unset.
+                    end_cell = pend_end[target]
+                    if cell_nexts[end_cell] != NIL:
+                        raise NotDeterministicError(
+                            "arena append would overwrite a next pointer; the "
+                            "compiled automaton is not deterministic"
+                        )
+                    cell_nexts[end_cell] = old_start
+                    pend_end[target] = old_end
+        else:
+            for state in active:
+                cur_start[state] = NIL
+        cur_start, pend_start = pend_start, cur_start
+        cur_end, pend_end = pend_end, cur_end
+        active = next_active
+        position += 1
+        if not active:
+            break
+
+    # Final capturing phase at position n (no-op if no run survived).
+    capturing(position)
+
+    is_final = compiled.is_final
+    final_entries = []
+    for state in active:
+        if is_final[state] and cur_start[state] != NIL:
+            final_entries.append((state, cur_start[state], cur_end[state]))
+
+    for state in active:
+        cur_start[state] = NIL
+    scratch.cur_start = cur_start
+    scratch.cur_end = cur_end
+    scratch.pend_start = pend_start
+    scratch.pend_end = pend_end
+
+    return CompiledResultDag(
+        compiled,
+        n,
+        node_markers,
+        node_positions,
+        node_starts,
+        node_ends,
+        cell_nodes,
+        cell_nexts,
+        final_entries,
+    )
+
+
+def count_compiled(compiled: CompiledEVA, document: object) -> int:
+    """Algorithm 3 (Theorem 5.1) on the dense integer tables.
+
+    Keeps one partial-run count per state id in a flat list — the integer
+    rewrite of :func:`repro.counting.count.count_mappings`.  No DAG, no
+    dictionaries, ``O(|A| × |d|)`` time and ``O(|A|)`` space.
+    """
+    text = as_text(document)
+    num_states = compiled.num_states
+    variable_table = compiled.variable_table
+    letter_table = compiled.letter_table
+
+    counts = [0] * num_states
+    pending = [0] * num_states
+    counts[compiled.initial] = 1
+    active = [compiled.initial]
+
+    def capturing() -> None:
+        snapshot = [
+            (state, counts[state]) for state in active if variable_table[state]
+        ]
+        for state, amount in snapshot:
+            for _set_id, target in variable_table[state]:
+                if counts[target] == 0:
+                    active.append(target)
+                counts[target] += amount
+
+    for symbol in compiled.encode_text(text):
+        capturing()
+        next_active: list[int] = []
+        if symbol >= 0:
+            for state in active:
+                amount = counts[state]
+                counts[state] = 0
+                if not amount:
+                    continue
+                target = letter_table[state][symbol]
+                if target < 0:
+                    continue
+                if pending[target] == 0:
+                    next_active.append(target)
+                pending[target] += amount
+        else:
+            for state in active:
+                counts[state] = 0
+        counts, pending = pending, counts
+        active = next_active
+        if not active:
+            return 0
+    capturing()
+
+    is_final = compiled.is_final
+    return sum(counts[state] for state in active if is_final[state])

@@ -1,0 +1,118 @@
+"""The execution planner: choosing how a spanner gets evaluated.
+
+Every evaluation entry point of the library (the
+:class:`~repro.spanners.Spanner` facade, the batch engine and the CLI)
+funnels through an :class:`ExecutionPlan` that names the concrete engine to
+run:
+
+``compiled``
+    Determinize up front, intern into a
+    :class:`~repro.runtime.compiled.CompiledEVA` and run the dense-table
+    arena engine.  Best when the deterministic automaton is small or reused
+    across many documents: the (possibly exponential) determinization is
+    paid once and the per-character cost is the lowest of all engines.
+
+``compiled-otf``
+    Skip determinization; evaluate through the lazily determinized
+    :class:`~repro.runtime.subset.CompiledSubsetEVA` (the paper's Section 4
+    closing remark).  Best when up-front subset construction threatens to
+    blow up: only subsets actually reached by some document are ever built,
+    at the price of a higher per-character constant.
+
+``reference``
+    The original dict-and-object Algorithm 1 — kept as the paper-faithful
+    baseline that the property suite cross-checks the compiled engines
+    against.
+
+:func:`choose_plan` implements the ``auto`` policy from an automaton's
+:class:`~repro.automata.analysis.AutomatonStatistics` (measured on the
+*sequential*, pre-determinization automaton): already-deterministic inputs
+compile directly; small non-deterministic ones determinize up front because
+the subset construction is provably bounded by ``2^states`` and cheap to
+amortize; large non-deterministic ones switch to on-the-fly evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.automata.analysis import AutomatonStatistics
+
+__all__ = ["ENGINE_CHOICES", "ExecutionPlan", "choose_plan"]
+
+#: Engine names accepted by the facade and the CLI; ``auto`` resolves to a
+#: concrete engine through :func:`choose_plan`.
+ENGINE_CHOICES = ("auto", "compiled", "compiled-otf", "reference")
+
+#: Above this many sequential-automaton states, ``auto`` refuses to
+#: determinize a non-deterministic automaton up front: the subset
+#: construction may build up to ``2^states`` subsets, while on-the-fly
+#: evaluation only ever interns the reachable ones.
+DEFAULT_OTF_STATE_THRESHOLD = 24
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """A resolved evaluation strategy.
+
+    ``engine`` is always concrete (never ``"auto"``);
+    ``determinize_upfront`` says whether the compilation pipeline runs
+    :func:`~repro.automata.transforms.determinize` before evaluation, and
+    ``reason`` records the planner's justification for logs and tests.
+    """
+
+    engine: str
+    determinize_upfront: bool
+    reason: str
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINE_CHOICES or self.engine == "auto":
+            raise ValueError(
+                f"an ExecutionPlan needs a concrete engine, got {self.engine!r}"
+            )
+
+
+def choose_plan(
+    stats: AutomatonStatistics | None = None,
+    *,
+    engine: str = "auto",
+    otf_state_threshold: int = DEFAULT_OTF_STATE_THRESHOLD,
+) -> ExecutionPlan:
+    """Resolve *engine* into an :class:`ExecutionPlan`.
+
+    *stats* must describe the **sequential** (pre-determinization)
+    automaton and carry its ``deterministic`` flag; it is only consulted
+    (and only required) when *engine* is ``"auto"``.  A concrete *engine*
+    is honoured as-is.
+    """
+    if engine not in ENGINE_CHOICES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {ENGINE_CHOICES}"
+        )
+    if engine == "reference":
+        return ExecutionPlan("reference", True, "forced by caller")
+    if engine == "compiled":
+        return ExecutionPlan("compiled", True, "forced by caller")
+    if engine == "compiled-otf":
+        return ExecutionPlan("compiled-otf", False, "forced by caller")
+
+    if stats is None:
+        raise ValueError("engine='auto' needs the sequential automaton's statistics")
+    if stats.deterministic:
+        return ExecutionPlan(
+            "compiled", True, "already deterministic: dense tables at no extra cost"
+        )
+    if stats.num_states > otf_state_threshold:
+        return ExecutionPlan(
+            "compiled-otf",
+            False,
+            f"non-deterministic with {stats.num_states} states "
+            f"(> {otf_state_threshold}): up-front subset construction may "
+            "be exponential, determinize on the fly",
+        )
+    return ExecutionPlan(
+        "compiled",
+        True,
+        f"non-deterministic but small ({stats.num_states} states "
+        f"<= {otf_state_threshold}): determinize once, reuse dense tables",
+    )

@@ -1,0 +1,343 @@
+"""On-the-fly subset construction in the compiled runtime.
+
+The paper's Section 4 closes by noting that its translations "can be fed to
+Algorithm 1 on-the-fly, thus rarely needing to materialize the entire
+deterministic seVA".  The reference implementation of that remark
+(:mod:`repro.enumeration.onthefly`) hashes ``frozenset`` subsets of
+original states on every phase of every document.  This module is its
+compiled counterpart:
+
+* the *possibly non-deterministic* sequential eVA is interned once into
+  dense integer tables (states, symbols and marker sets get contiguous
+  ids; letter rows map a symbol id to a *tuple* of target ids);
+* reachable subset-states are interned to integers **on demand** — a
+  subset is hashed exactly once, when first discovered, and from then on
+  it is just an int;
+* discovered subset rows (variable successors and per-symbol letter
+  successors) are cached on the :class:`CompiledSubsetEVA` itself, so they
+  are reused across positions *and across every document* evaluated with
+  the same instance — the batch engine evaluates a whole collection
+  without ever re-deriving a row, and without the up-front (potentially
+  exponential) :func:`~repro.automata.transforms.determinize` call.
+
+:func:`evaluate_subset_arena` runs the same arena-building Algorithm 1 loop
+as :func:`repro.runtime.engine.evaluate_compiled_arena` over the lazily
+determinized automaton, and :func:`count_subset` is the matching integer
+Algorithm 3.  Both keep per-subset slots in dictionaries keyed by subset
+id, because the state space grows while evaluating.
+"""
+
+from __future__ import annotations
+
+from repro.core.documents import as_text
+from repro.core.errors import CompilationError, NotDeterministicError
+from repro.automata.eva import ExtendedVA
+from repro.automata.markers import MarkerSet
+from repro.runtime.compiled import NO_TARGET, encode_symbols, marker_decode_tables_for
+from repro.runtime.dag import NIL, CompiledResultDag
+
+__all__ = ["CompiledSubsetEVA", "count_subset", "evaluate_subset_arena"]
+
+#: Sentinel in a lazily filled letter row: "successor not discovered yet".
+UNKNOWN = -2
+
+
+class CompiledSubsetEVA:
+    """A lazily determinized, integer-indexed view of a sequential eVA.
+
+    The instance is **stateful**: its subset tables grow monotonically as
+    documents are evaluated, which is exactly the point — discovery work is
+    paid once per reachable subset, not once per document.  The base
+    automaton's interning (states, symbols, marker sets) happens eagerly in
+    the constructor and is deterministic, so marker-set ids are stable
+    across processes; subset ids are *not* (each process discovers subsets
+    in its own order), which is why portable results key final states by
+    the subset's member tuple (see :meth:`portable_state_key`).
+    """
+
+    def __init__(self, automaton: ExtendedVA) -> None:
+        if not automaton.has_initial:
+            raise CompilationError("cannot compile an automaton without an initial state")
+        self.source = automaton
+
+        # --- eager interning of the (non-deterministic) base automaton --- #
+        base_initial = automaton.initial
+        base_states = (base_initial, *sorted(
+            (s for s in automaton.states if s != base_initial), key=repr
+        ))
+        self.base_state_objects: tuple = base_states
+        base_index = {state: i for i, state in enumerate(base_states)}
+        self.symbols: tuple[str, ...] = tuple(sorted(automaton.alphabet()))
+        self.symbol_index = {symbol: i for i, symbol in enumerate(self.symbols)}
+
+        marker_sets: list[MarkerSet] = []
+        marker_set_index: dict[MarkerSet, int] = {}
+        base_variable: list[tuple[tuple[int, int], ...]] = []
+        base_letter: list[tuple[tuple[int, ...], ...]] = []
+        for state in base_states:
+            pairs: list[tuple[int, int]] = []
+            for marker_set, target in sorted(
+                automaton.variable_transitions_from(state), key=lambda pair: repr(pair)
+            ):
+                set_id = marker_set_index.get(marker_set)
+                if set_id is None:
+                    set_id = len(marker_sets)
+                    marker_set_index[marker_set] = set_id
+                    marker_sets.append(marker_set)
+                pairs.append((set_id, base_index[target]))
+            base_variable.append(tuple(pairs))
+            row: list[list[int]] = [[] for _ in self.symbols]
+            for symbol, target in automaton.letter_transitions_from(state):
+                row[self.symbol_index[symbol]].append(base_index[target])
+            base_letter.append(tuple(tuple(sorted(targets)) for targets in row))
+        self.marker_sets: tuple[MarkerSet, ...] = tuple(marker_sets)
+        self.marker_set_index = marker_set_index
+        self.base_variable = tuple(base_variable)
+        self.base_letter = tuple(base_letter)
+        self.base_finals = frozenset(base_index[s] for s in automaton.finals)
+
+        # --- lazily grown subset tables --- #
+        #: member tuple (sorted base ids) per subset id
+        self.subset_members: list[tuple[int, ...]] = []
+        self._subset_index: dict[tuple[int, ...], int] = {}
+        #: per-subset (marker_set_id, target_subset_id) rows, None = unknown
+        self.subset_variable: list[tuple[tuple[int, int], ...] | None] = []
+        #: per-subset per-symbol successor, UNKNOWN until discovered
+        self.subset_letter: list[list[int]] = []
+        self.subset_is_final: list[bool] = []
+        #: frozensets of base state objects, for ResultDag conversion
+        self._state_objects: list[frozenset] = []
+        self._marker_decode: tuple[tuple, tuple] | None = None
+
+        self.initial = self.intern_subset((0,))
+
+    # ------------------------------------------------------------------ #
+    # Subset interning and lazy row discovery
+    # ------------------------------------------------------------------ #
+
+    def intern_subset(self, members: tuple[int, ...]) -> int:
+        """The id of the subset-state *members* (a sorted tuple of base ids)."""
+        subset_id = self._subset_index.get(members)
+        if subset_id is None:
+            subset_id = len(self.subset_members)
+            self._subset_index[members] = subset_id
+            self.subset_members.append(members)
+            self.subset_variable.append(None)
+            self.subset_letter.append([UNKNOWN] * len(self.symbols))
+            self.subset_is_final.append(
+                any(state in self.base_finals for state in members)
+            )
+            self._state_objects.append(
+                frozenset(self.base_state_objects[state] for state in members)
+            )
+        return subset_id
+
+    def variable_row(self, subset_id: int) -> tuple[tuple[int, int], ...]:
+        """The subset-automaton variable transitions from *subset_id*.
+
+        Discovered on first use: targets of the member states are grouped
+        by marker-set id, each group's union interned as a subset.
+        """
+        row = self.subset_variable[subset_id]
+        if row is None:
+            grouped: dict[int, set[int]] = {}
+            base_variable = self.base_variable
+            for state in self.subset_members[subset_id]:
+                for set_id, target in base_variable[state]:
+                    grouped.setdefault(set_id, set()).add(target)
+            row = tuple(
+                (set_id, self.intern_subset(tuple(sorted(targets))))
+                for set_id, targets in sorted(grouped.items())
+            )
+            self.subset_variable[subset_id] = row
+        return row
+
+    def letter_successor(self, subset_id: int, symbol: int) -> int:
+        """``δ(subset, symbol)`` — ``NO_TARGET`` if every member run dies."""
+        row = self.subset_letter[subset_id]
+        successor = row[symbol]
+        if successor == UNKNOWN:
+            targets: set[int] = set()
+            base_letter = self.base_letter
+            for state in self.subset_members[subset_id]:
+                targets.update(base_letter[state][symbol])
+            successor = (
+                self.intern_subset(tuple(sorted(targets))) if targets else NO_TARGET
+            )
+            row[symbol] = successor
+        return successor
+
+    # ------------------------------------------------------------------ #
+    # Introspection and the CompiledResultDag provider protocol
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_base_states(self) -> int:
+        """The number of states of the underlying non-deterministic eVA."""
+        return len(self.base_state_objects)
+
+    @property
+    def num_subset_states(self) -> int:
+        """The number of subset-states discovered so far."""
+        return len(self.subset_members)
+
+    @property
+    def state_objects(self) -> list[frozenset]:
+        """Subset-state objects (frozensets of base states), by subset id."""
+        return self._state_objects
+
+    @property
+    def state_index(self) -> dict[frozenset, int]:
+        """Subset-object → id mapping (built on demand; conversion only)."""
+        return {subset: i for i, subset in enumerate(self._state_objects)}
+
+    def marker_decode_tables(self) -> tuple[tuple, tuple]:
+        """Per-marker-set-id ``(opened, closed)`` variable-name tuples."""
+        if self._marker_decode is None:
+            self._marker_decode = marker_decode_tables_for(self.marker_sets)
+        return self._marker_decode
+
+    def portable_state_key(self, state_id: int) -> tuple[int, ...]:
+        """A process-stable key: the subset's member tuple of base ids
+        (base interning is deterministic; subset discovery order is not)."""
+        return self.subset_members[state_id]
+
+    def resolve_state_key(self, key: tuple[int, ...]) -> int:
+        """Re-intern a member tuple received from another process."""
+        return self.intern_subset(tuple(key))
+
+    def encode_text(self, text: str) -> list[int]:
+        """Translate *text* into symbol ids (``-1`` for foreign characters)."""
+        return encode_symbols(self.symbol_index, text)
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledSubsetEVA(base_states={self.num_base_states}, "
+            f"subsets={self.num_subset_states}, symbols={len(self.symbols)})"
+        )
+
+
+def evaluate_subset_arena(
+    subset_eva: CompiledSubsetEVA, document: object
+) -> CompiledResultDag:
+    """Algorithm 1 over the lazily determinized automaton, arena output.
+
+    The same loop as :func:`repro.runtime.engine.evaluate_compiled_arena`,
+    with per-subset ``(start, end)`` list pairs held in dicts keyed by
+    subset id (the state space grows during evaluation, so there is no
+    fixed-size scratch).  The subset automaton is deterministic by
+    construction, so the lazy-list append discipline holds and every path
+    of the resulting DAG yields a distinct mapping.
+    """
+    text = as_text(document)
+    n = len(text)
+
+    node_markers: list[int] = []
+    node_positions: list[int] = []
+    node_starts: list[int] = []
+    node_ends: list[int] = []
+    cell_nodes: list[int] = [NIL]  # cell 0: the initial list [⊥]
+    cell_nexts: list[int] = [NIL]
+
+    variable_row = subset_eva.variable_row
+    letter_successor = subset_eva.letter_successor
+
+    # lists[subset_id] = (start, end) pair of the live lazy list.
+    lists: dict[int, tuple[int, int]] = {subset_eva.initial: (0, 0)}
+
+    def capturing(position: int) -> None:
+        for subset_id, (old_start, old_end) in list(lists.items()):
+            for set_id, target in variable_row(subset_id):
+                node = len(node_markers)
+                node_markers.append(set_id)
+                node_positions.append(position)
+                node_starts.append(old_start)
+                node_ends.append(old_end)
+                cell = len(cell_nodes)
+                cell_nodes.append(node)
+                current = lists.get(target)
+                cell_nexts.append(NIL if current is None else current[0])
+                lists[target] = (cell, cell if current is None else current[1])
+
+    position = 0
+    for symbol in subset_eva.encode_text(text):
+        capturing(position)
+        old_lists = lists
+        lists = {}
+        if symbol >= 0:
+            for subset_id, (old_start, old_end) in old_lists.items():
+                target = letter_successor(subset_id, symbol)
+                if target < 0:
+                    continue
+                current = lists.get(target)
+                if current is None:
+                    lists[target] = (old_start, old_end)
+                else:
+                    end_cell = current[1]
+                    if cell_nexts[end_cell] != NIL:
+                        raise NotDeterministicError(
+                            "arena append would overwrite a next pointer; the "
+                            "subset construction produced a non-deterministic row"
+                        )
+                    cell_nexts[end_cell] = old_start
+                    lists[target] = (current[0], old_end)
+        position += 1
+        if not lists:
+            break
+
+    capturing(position)
+
+    is_final = subset_eva.subset_is_final
+    final_entries = [
+        (subset_id, start, end)
+        for subset_id, (start, end) in lists.items()
+        if is_final[subset_id]
+    ]
+    return CompiledResultDag(
+        subset_eva,
+        n,
+        node_markers,
+        node_positions,
+        node_starts,
+        node_ends,
+        cell_nodes,
+        cell_nexts,
+        final_entries,
+    )
+
+
+def count_subset(subset_eva: CompiledSubsetEVA, document: object) -> int:
+    """Algorithm 3 over the lazily determinized automaton.
+
+    Counts without determinizing up front and without building any DAG;
+    the per-subset partial-run counts live in a dict keyed by subset id.
+    Row discovery is shared with (and cached for) every other evaluation
+    through the same :class:`CompiledSubsetEVA`.
+    """
+    text = as_text(document)
+    variable_row = subset_eva.variable_row
+    letter_successor = subset_eva.letter_successor
+
+    counts: dict[int, int] = {subset_eva.initial: 1}
+
+    def capturing() -> None:
+        for subset_id, amount in list(counts.items()):
+            for _set_id, target in variable_row(subset_id):
+                counts[target] = counts.get(target, 0) + amount
+
+    for symbol in subset_eva.encode_text(text):
+        capturing()
+        previous = counts
+        counts = {}
+        if symbol >= 0:
+            for subset_id, amount in previous.items():
+                target = letter_successor(subset_id, symbol)
+                if target < 0:
+                    continue
+                counts[target] = counts.get(target, 0) + amount
+        if not counts:
+            return 0
+    capturing()
+
+    is_final = subset_eva.subset_is_final
+    return sum(amount for subset_id, amount in counts.items() if is_final[subset_id])

@@ -63,6 +63,10 @@ class CompilationReport:
             StageReport(name, automaton.num_states, automaton.num_transitions, seconds)
         )
 
+    def copy(self) -> "CompilationReport":
+        """An independent report continuing from the same stages."""
+        return CompilationReport(stages=list(self.stages))
+
     @property
     def total_seconds(self) -> float:
         """Total compilation time across stages."""
@@ -122,10 +126,16 @@ class CompilationPipeline:
             )
         return False
 
-    def compile(
+    def compile_sequential(
         self, extra_alphabet: Iterable[str] = ()
     ) -> tuple[ExtendedVA, CompilationReport]:
-        """Run the full pipeline and return the deterministic seVA plus a report."""
+        """Run the pipeline up to (and including) sequentialization.
+
+        The result is a *sequential but possibly non-deterministic* eVA —
+        the input format of the on-the-fly subset runtime and of the
+        planner (which inspects it to decide whether determinizing up
+        front is affordable).  :meth:`compile` continues from here.
+        """
         alphabet = self._base_alphabet | frozenset(extra_alphabet)
         report = CompilationReport()
 
@@ -139,7 +149,19 @@ class CompilationPipeline:
         else:
             extended = trim(extended)
             report.record("trim", extended, time.perf_counter() - start)
+        return extended, report
 
+    def determinize_stage(
+        self, extended: ExtendedVA, report: CompilationReport
+    ) -> tuple[ExtendedVA, CompilationReport]:
+        """Determinize (if needed) and relabel a sequential eVA.
+
+        Appends its stage entry to *report* and returns the deterministic
+        seVA.  Callers that cached the :meth:`compile_sequential` output
+        (the :class:`~repro.spanners.Spanner` facade does, so one alphabet
+        key never runs the front of the pipeline twice) pass a *copy* of
+        the sequential report to keep the two records independent.
+        """
         start = time.perf_counter()
         if not extended.is_deterministic():
             extended = determinize(extended)
@@ -149,6 +171,13 @@ class CompilationPipeline:
             extended = relabel_states(extended)
             report.record("relabel", extended, time.perf_counter() - start)
         return extended, report
+
+    def compile(
+        self, extra_alphabet: Iterable[str] = ()
+    ) -> tuple[ExtendedVA, CompilationReport]:
+        """Run the full pipeline and return the deterministic seVA plus a report."""
+        extended, report = self.compile_sequential(extra_alphabet)
+        return self.determinize_stage(extended, report)
 
     def intern(self, extended: ExtendedVA, report: CompilationReport):
         """Intern a pipeline-produced deterministic seVA into dense tables.

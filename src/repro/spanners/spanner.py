@@ -11,21 +11,27 @@ evaluation operations of the paper:
 * :meth:`Spanner.extract` — convenience extraction of the captured text.
 
 Compilation into a deterministic sequential eVA happens lazily and is
-cached per alphabet, because wildcard patterns expand over the characters
-of the documents they are evaluated on.
+cached per alphabet (wildcard patterns expand over the characters of the
+documents they are evaluated on); the cache is a small LRU bounded by the
+``max_cached_alphabets`` knob, and every per-alphabet artifact — the
+sequential eVA, the deterministic eVA, both compiled runtimes and the
+execution plan — lives in **one** entry, so they are evicted together.
 
-Two evaluation engines are available.  ``engine="compiled"`` (the default)
-interns the deterministic seVA into the integer-indexed
-:class:`~repro.runtime.compiled.CompiledEVA` and runs the dense inner loop
-of :mod:`repro.runtime.engine`; ``engine="reference"`` keeps the original
-dict-based Algorithm 1 of :mod:`repro.enumeration.evaluate`, which the
-property tests use to cross-check the compiled runtime.  Multi-document
-workloads go through :meth:`Spanner.run_batch`, which compiles once and
-streams every document through the same tables.
+Evaluation goes through the :class:`~repro.runtime.plan.ExecutionPlan`
+layer.  ``engine="auto"`` (the default) lets the planner pick between the
+dense-table arena engine (``"compiled"``), the lazily determinized subset
+engine (``"compiled-otf"``, the paper's Section 4 closing remark — no
+up-front :func:`~repro.automata.transforms.determinize` call at all) and is
+cross-checked against the dict-based reference loop (``"reference"``).  A
+concrete engine name forces that engine.  Multi-document workloads go
+through :meth:`Spanner.run_batch`, which compiles once and streams every
+document through the same tables.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from dataclasses import replace
 from typing import Iterable, Iterator
 
 from repro.core.documents import DocumentCollection, as_text
@@ -35,15 +41,42 @@ from repro.automata.eva import ExtendedVA
 from repro.automata.va import VariableSetAutomaton
 from repro.algebra.expressions import SpannerExpression
 from repro.counting.count import count_mappings
-from repro.enumeration.evaluate import ResultDag, evaluate as run_evaluate
+from repro.enumeration.evaluate import evaluate as run_evaluate
 from repro.regex.ast import RegexNode
 from repro.regex.parser import parse_regex
-from repro.runtime.batch import ENGINES, run_batch as run_batch_compiled
+from repro.runtime.batch import run_batch as run_batch_compiled
 from repro.runtime.compiled import CompiledEVA
-from repro.runtime.engine import evaluate_compiled
+from repro.runtime.engine import count_compiled, evaluate_compiled_arena
+from repro.runtime.plan import ENGINE_CHOICES, ExecutionPlan, choose_plan
+from repro.runtime.subset import CompiledSubsetEVA, count_subset, evaluate_subset_arena
 from repro.spanners.pipeline import CompilationPipeline, CompilationReport
 
 __all__ = ["Spanner"]
+
+
+class _CompiledState:
+    """Everything compiled for one alphabet key, evicted as a unit."""
+
+    __slots__ = (
+        "sequential",
+        "sequential_report",
+        "automaton",
+        "report",
+        "runtime",
+        "otf_runtime",
+        "plan",
+        "stats",
+    )
+
+    def __init__(self) -> None:
+        self.sequential: ExtendedVA | None = None
+        self.sequential_report: CompilationReport | None = None
+        self.automaton: ExtendedVA | None = None
+        self.report: CompilationReport | None = None
+        self.runtime: CompiledEVA | None = None
+        self.otf_runtime: CompiledSubsetEVA | None = None
+        self.plan: ExecutionPlan | None = None
+        self.stats: AutomatonStatistics | None = None
 
 
 class Spanner:
@@ -54,42 +87,54 @@ class Spanner:
         source: str | RegexNode | VariableSetAutomaton | ExtendedVA | SpannerExpression,
         alphabet: Iterable[str] = (),
         *,
-        engine: str = "compiled",
+        engine: str = "auto",
+        max_cached_alphabets: int = 8,
     ) -> None:
-        if engine not in ENGINES:
-            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        if engine not in ENGINE_CHOICES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINE_CHOICES}"
+            )
+        if max_cached_alphabets < 1:
+            raise ValueError(
+                f"max_cached_alphabets must be positive, got {max_cached_alphabets}"
+            )
         if isinstance(source, str):
             source = parse_regex(source)
         self._pipeline = CompilationPipeline(source, alphabet)
         self._engine = engine
-        self._cache: dict[frozenset[str], tuple[ExtendedVA, CompilationReport]] = {}
-        self._runtime_cache: dict[frozenset[str], CompiledEVA] = {}
+        self.max_cached_alphabets = max_cached_alphabets
+        # One LRU entry per alphabet key; the sequential eVA, deterministic
+        # eVA, both compiled runtimes and the plan share the entry so a
+        # single eviction drops them together.
+        self._states: OrderedDict[frozenset[str], _CompiledState] = OrderedDict()
 
     # ------------------------------------------------------------------ #
     # Constructors
     # ------------------------------------------------------------------ #
 
     @classmethod
-    def from_regex(cls, pattern: str | RegexNode, alphabet: Iterable[str] = ()) -> "Spanner":
+    def from_regex(
+        cls, pattern: str | RegexNode, alphabet: Iterable[str] = (), **options
+    ) -> "Spanner":
         """Build a spanner from a regex formula (text or AST)."""
-        return cls(parse_regex(pattern), alphabet)
+        return cls(parse_regex(pattern), alphabet, **options)
 
     @classmethod
-    def from_va(cls, automaton: VariableSetAutomaton) -> "Spanner":
+    def from_va(cls, automaton: VariableSetAutomaton, **options) -> "Spanner":
         """Build a spanner from a classic variable-set automaton."""
-        return cls(automaton)
+        return cls(automaton, **options)
 
     @classmethod
-    def from_eva(cls, automaton: ExtendedVA) -> "Spanner":
+    def from_eva(cls, automaton: ExtendedVA, **options) -> "Spanner":
         """Build a spanner from an extended variable-set automaton."""
-        return cls(automaton)
+        return cls(automaton, **options)
 
     @classmethod
     def from_expression(
-        cls, expression: SpannerExpression, alphabet: Iterable[str] = ()
+        cls, expression: SpannerExpression, alphabet: Iterable[str] = (), **options
     ) -> "Spanner":
         """Build a spanner from a spanner-algebra expression."""
-        return cls(expression, alphabet)
+        return cls(expression, alphabet, **options)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -102,7 +147,7 @@ class Spanner:
 
     @property
     def engine(self) -> str:
-        """The default evaluation engine (``"compiled"`` or ``"reference"``)."""
+        """The default evaluation engine (one of ``ENGINE_CHOICES``)."""
         return self._engine
 
     def variables(self) -> frozenset[str]:
@@ -125,47 +170,117 @@ class Spanner:
         """The interned :class:`CompiledEVA` used to evaluate *document*."""
         return self._runtime_for_key(self._alphabet_key(document))
 
+    def otf_runtime(self, document: object = "") -> CompiledSubsetEVA:
+        """The lazily determinized runtime used by ``engine="compiled-otf"``."""
+        return self._otf_runtime_for_key(self._alphabet_key(document))
+
+    def plan(self, document: object = "", *, engine: str | None = None) -> ExecutionPlan:
+        """The :class:`ExecutionPlan` that would evaluate *document*."""
+        return self._plan_for_key(self._alphabet_key(document), engine)
+
+    def cached_alphabets(self) -> int:
+        """How many alphabet keys currently sit in the compilation cache."""
+        return len(self._states)
+
+    # ------------------------------------------------------------------ #
+    # Per-alphabet compilation cache (bounded LRU)
+    # ------------------------------------------------------------------ #
+
     def _alphabet_key(self, document: object) -> frozenset[str]:
         if self._pipeline.source_needs_alphabet():
             return frozenset(as_text(document))
         return frozenset()
 
+    def _state_for_key(self, key: frozenset[str]) -> _CompiledState:
+        state = self._states.get(key)
+        if state is None:
+            state = _CompiledState()
+            self._states[key] = state
+            while len(self._states) > self.max_cached_alphabets:
+                self._states.popitem(last=False)
+        else:
+            self._states.move_to_end(key)
+        return state
+
+    def _sequential_for_key(
+        self, key: frozenset[str]
+    ) -> tuple[ExtendedVA, CompilationReport]:
+        state = self._state_for_key(key)
+        if state.sequential is None:
+            state.sequential, state.sequential_report = (
+                self._pipeline.compile_sequential(key)
+            )
+        return state.sequential, state.sequential_report
+
     def _compiled_for(self, document: object) -> tuple[ExtendedVA, CompilationReport]:
         return self._compiled_for_key(self._alphabet_key(document))
 
     def _compiled_for_key(self, key: frozenset[str]) -> tuple[ExtendedVA, CompilationReport]:
-        if key not in self._cache:
-            self._cache[key] = self._pipeline.compile(key)
-        return self._cache[key]
+        state = self._state_for_key(key)
+        if state.automaton is None:
+            sequential, report = self._sequential_for_key(key)
+            state.automaton, state.report = self._pipeline.determinize_stage(
+                sequential, report.copy()
+            )
+        return state.automaton, state.report
 
     def _runtime_for_key(self, key: frozenset[str]) -> CompiledEVA:
-        compiled = self._runtime_cache.get(key)
-        if compiled is None:
+        state = self._state_for_key(key)
+        if state.runtime is None:
             automaton, report = self._compiled_for_key(key)
-            compiled = self._pipeline.intern(automaton, report)
-            self._runtime_cache[key] = compiled
-        return compiled
+            state.runtime = self._pipeline.intern(automaton, report)
+        return state.runtime
 
-    def _resolve_engine(self, engine: str | None) -> str:
+    def _otf_runtime_for_key(self, key: frozenset[str]) -> CompiledSubsetEVA:
+        state = self._state_for_key(key)
+        if state.otf_runtime is None:
+            sequential, _report = self._sequential_for_key(key)
+            state.otf_runtime = CompiledSubsetEVA(sequential)
+        return state.otf_runtime
+
+    def _plan_for_key(self, key: frozenset[str], engine: str | None) -> ExecutionPlan:
         engine = self._engine if engine is None else engine
-        if engine not in ENGINES:
-            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
-        return engine
+        if engine not in ENGINE_CHOICES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINE_CHOICES}"
+            )
+        if engine != "auto":
+            return choose_plan(engine=engine)
+        state = self._state_for_key(key)
+        if state.plan is None:
+            state.plan = choose_plan(self._planner_stats(key), engine="auto")
+        return state.plan
+
+    def _planner_stats(self, key: frozenset[str]) -> AutomatonStatistics:
+        state = self._state_for_key(key)
+        if state.stats is None:
+            sequential, _report = self._sequential_for_key(key)
+            state.stats = replace(
+                statistics(sequential), deterministic=sequential.is_deterministic()
+            )
+        return state.stats
 
     # ------------------------------------------------------------------ #
     # Evaluation
     # ------------------------------------------------------------------ #
 
-    def preprocess(self, document: object, *, engine: str | None = None) -> ResultDag:
+    def preprocess(self, document: object, *, engine: str | None = None):
         """Run only the preprocessing phase (Algorithm 1) on *document*.
 
-        *engine* overrides the spanner's default: ``"compiled"`` runs the
-        integer runtime, ``"reference"`` the original dict-based loop.
+        *engine* overrides the spanner's default.  The compiled engines
+        return the flat :class:`~repro.runtime.dag.CompiledResultDag`
+        arena (no ``DagNode`` objects are materialized); ``"reference"``
+        returns the legacy object :class:`~repro.enumeration.evaluate.ResultDag`.
+        Both support iteration, ``count()`` and ``is_empty()``.
         """
-        if self._resolve_engine(engine) == "reference":
-            automaton, _report = self._compiled_for(document)
+        key = self._alphabet_key(document)
+        plan = self._plan_for_key(key, engine)
+        if plan.engine == "reference":
+            automaton, _report = self._compiled_for_key(key)
             return run_evaluate(automaton, document, check_determinism=False)
-        return evaluate_compiled(self._runtime_for_key(self._alphabet_key(document)), document)
+        if plan.engine == "compiled-otf":
+            return evaluate_subset_arena(self._otf_runtime_for_key(key), document)
+        return evaluate_compiled_arena(self._runtime_for_key(key), document)
 
     def enumerate(self, document: object, *, engine: str | None = None) -> Iterator[Mapping]:
         """Enumerate ``⟦γ⟧(d)`` with constant delay after linear preprocessing."""
@@ -183,45 +298,68 @@ class Spanner:
         engine: str | None = None,
         chunk_size: int = 16,
         max_workers: int | None = None,
-    ) -> Iterator[tuple[object, ResultDag]]:
+    ) -> Iterator[tuple[object, object]]:
         """Evaluate the spanner over many documents, compiling exactly once.
 
         The spanner is compiled over the *union* alphabet of the batch (a
         wildcard expands to every character any document contains, which is
         semantically transparent: transitions on characters a document does
         not contain can never fire).  Results stream as ``(doc_id,
-        ResultDag)`` pairs in collection order; ``mode="processes"`` fans
+        result)`` pairs in collection order; ``mode="processes"`` fans
         chunks of documents out to a multiprocessing pool, pickling the
-        compiled automaton once per worker.
+        compiled automaton once per worker.  The engine is resolved through
+        the planner exactly as for single documents; ``"compiled-otf"``
+        reuses one :class:`CompiledSubsetEVA` across the whole batch, so
+        subset rows discovered on one document are cache hits on the next.
         """
         documents = DocumentCollection.coerce(documents)
         if self._pipeline.source_needs_alphabet():
             key = documents.alphabet()
         else:
             key = frozenset()
-        compiled = self._runtime_for_key(key)
+        plan = self._plan_for_key(key, engine)
+        if plan.engine == "compiled-otf":
+            compiled: CompiledEVA | CompiledSubsetEVA = self._otf_runtime_for_key(key)
+        else:
+            compiled = self._runtime_for_key(key)
         return run_batch_compiled(
             compiled,
             documents,
             mode=mode,
-            engine=self._resolve_engine(engine),
+            engine=plan.engine,
             chunk_size=chunk_size,
             max_workers=max_workers,
         )
 
-    def count(self, document: object) -> int:
-        """Count ``|⟦γ⟧(d)|`` with Algorithm 3 (no enumeration)."""
-        automaton, _report = self._compiled_for(document)
-        return count_mappings(automaton, document, check_determinism=False)
+    def count(self, document: object, *, engine: str | None = None) -> int:
+        """Count ``|⟦γ⟧(d)|`` with Algorithm 3 (no enumeration).
 
-    def extract(self, document: object) -> list[dict[str, str]]:
+        The compiled engines run the integer rewrite of Algorithm 3 on
+        their dense (or lazily discovered) tables; ``"reference"`` runs the
+        original dict-based loop.
+        """
+        key = self._alphabet_key(document)
+        plan = self._plan_for_key(key, engine)
+        if plan.engine == "reference":
+            automaton, _report = self._compiled_for_key(key)
+            return count_mappings(automaton, document, check_determinism=False)
+        if plan.engine == "compiled-otf":
+            return count_subset(self._otf_runtime_for_key(key), document)
+        return count_compiled(self._runtime_for_key(key), document)
+
+    def extract(
+        self, document: object, *, engine: str | None = None
+    ) -> list[dict[str, str]]:
         """Return the extracted text per output mapping.
 
         Each output mapping becomes a dictionary from variable name to the
         captured substring — the most convenient form for downstream use.
         """
         text = as_text(document)
-        return [mapping.contents(text) for mapping in self.enumerate(document)]
+        return [
+            mapping.contents(text)
+            for mapping in self.enumerate(document, engine=engine)
+        ]
 
     def __call__(self, document: object) -> list[Mapping]:
         return self.evaluate(document)

@@ -22,10 +22,12 @@ from repro.workloads.documents import (
 from repro.workloads.spanners import contact_pattern
 
 __all__ = [
+    "NESTED_PATTERN",
     "BatchScenario",
     "contact_collection",
     "dna_collection",
     "log_collection",
+    "nested_collection",
     "random_collection",
     "scenario",
     "scenario_names",
@@ -88,6 +90,28 @@ def dna_collection(
     return collection
 
 
+def nested_collection(
+    num_documents: int, length_per_document: int = 40, seed: int = 0
+) -> DocumentCollection:
+    """Short random two-letter strings for the nested-capture workload.
+
+    Paired with :data:`NESTED_PATTERN`, every document of length ``n``
+    yields ``Θ(n⁴)`` mappings — the output-heavy regime that stresses the
+    enumeration phase rather than preprocessing.
+    """
+    collection = DocumentCollection(name="nested")
+    for index in range(num_documents):
+        collection.add(
+            random_document(length_per_document, alphabet="ab", seed=seed + index),
+            doc_id=f"nested-{index}",
+        )
+    return collection
+
+
+#: The depth-2 nested capture formula of the introduction, as a pattern.
+NESTED_PATTERN = ".*x1{.*x2{.*}.*}.*"
+
+
 def random_collection(
     num_documents: int, length_per_document: int = 1000, alphabet: str = "ab", seed: int = 0
 ) -> DocumentCollection:
@@ -131,9 +155,15 @@ def scenario(name: str, num_documents: int = 8, scale: int | None = None, seed: 
             r".*x{a+b}.*",
             random_collection(num_documents, scale if scale is not None else 1000, seed=seed),
         )
+    if name == "nested":
+        return BatchScenario(
+            name,
+            NESTED_PATTERN,
+            nested_collection(num_documents, scale if scale is not None else 40, seed),
+        )
     raise ValueError(f"unknown batch scenario {name!r}; expected one of {scenario_names()}")
 
 
 def scenario_names() -> tuple[str, ...]:
     """The available batch scenario names."""
-    return ("contacts", "logs", "dna", "random")
+    return ("contacts", "logs", "dna", "random", "nested")

@@ -14,6 +14,7 @@ from repro.baselines.polydelay import PolynomialDelayEnumerator
 from repro.counting.count import count_mappings
 from repro.enumeration.enumerate import delay_profile
 from repro.regex.compiler import compile_to_va
+from repro.regex.parser import parse_regex
 from repro.regex.semantics import evaluate_regex
 from repro.workloads.documents import contact_document, dna_sequence, server_log
 from repro.workloads.spanners import contact_pattern, keyword_pair_pattern, nested_capture_regex
@@ -126,3 +127,46 @@ class TestQuadraticOutputWorkload:
         ordered = sorted(delays)
         median = ordered[len(ordered) // 2]
         assert max(delays) < max(median * 500, 0.01)
+
+
+class TestExecutionPlanAcceptance:
+    """The ISSUE 2 acceptance scenarios, end to end through the facade."""
+
+    def test_census_enumerate_and_count_never_build_dag_nodes(self, monkeypatch):
+        from repro.counting.census import CensusInstance
+        from repro.enumeration import dag as dag_module
+        from repro.workloads.spanners import random_census_nfa
+
+        instance = CensusInstance(random_census_nfa(5, "ab", density=0.35, seed=13), 4)
+        automaton, document = instance.to_spanner()
+        spanner = Spanner.from_va(automaton)
+        expected = instance.solve_directly()
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("the compiled plan must not build DagNode objects")
+
+        monkeypatch.setattr(dag_module.DagNode, "__init__", forbidden)
+        plan = spanner.plan(document)
+        assert plan.engine in ("compiled", "compiled-otf")
+        assert spanner.count(document) == expected
+        assert len(list(spanner.enumerate(document))) == expected
+
+    def test_nondeterministic_eva_runs_compiled_otf_without_determinize(self, monkeypatch):
+        import repro.spanners.pipeline as pipeline_module
+        from repro.automata import transforms
+        from repro.automata.transforms import va_to_eva
+
+        extended = va_to_eva(compile_to_va(parse_regex("(aa|a)*x{b+}"), "ab"))
+        assert not extended.is_deterministic()
+        assert extended.is_sequential()
+        expected = {str(m) for m in extended.evaluate("aabb")}
+
+        spanner = Spanner.from_eva(extended, engine="compiled-otf")
+        for module in (transforms, pipeline_module):
+            monkeypatch.setattr(
+                module,
+                "determinize",
+                lambda *a, **k: pytest.fail("compiled-otf must not determinize"),
+            )
+        assert {str(m) for m in spanner.enumerate("aabb")} == expected
+        assert spanner.count("aabb") == len(expected)
