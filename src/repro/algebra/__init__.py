@@ -1,4 +1,13 @@
-"""The spanner algebra: union, join and projection over spanners."""
+"""The spanner algebra: union, join and projection over spanners.
+
+Besides the expression trees and the two evaluation routes of the paper
+(automaton-level constructions in :mod:`repro.algebra.automaton_ops`,
+set-level operators in :mod:`repro.algebra.operators`), the package hosts
+the logical query-plan layer (:mod:`repro.algebra.logical`) and the
+cost-based optimizer (:mod:`repro.algebra.optimizer`) that picks per
+operator between fusing into one automaton and cutting into runtime arena
+operators.
+"""
 
 from repro.algebra.expressions import Atom, Join, Projection, SpannerExpression, UnionExpr
 from repro.algebra.operators import join_mapping_sets, project_mapping_set, union_mapping_sets
@@ -9,19 +18,40 @@ from repro.algebra.automaton_ops import (
     union_eva,
 )
 from repro.algebra.compile import compile_expression, evaluate_expression_setwise
+from repro.algebra.logical import (
+    LogicalAtom,
+    LogicalJoin,
+    LogicalNode,
+    LogicalProject,
+    LogicalUnion,
+    expression_from_logical,
+    logical_from_expression,
+    render_logical,
+)
+from repro.algebra.optimizer import OptimizedPlan, optimize
 
 __all__ = [
     "Atom",
     "Join",
+    "LogicalAtom",
+    "LogicalJoin",
+    "LogicalNode",
+    "LogicalProject",
+    "LogicalUnion",
+    "OptimizedPlan",
     "Projection",
     "SpannerExpression",
     "UnionExpr",
     "compile_expression",
     "evaluate_expression_setwise",
+    "expression_from_logical",
     "join_eva",
     "join_mapping_sets",
+    "logical_from_expression",
+    "optimize",
     "project_eva",
     "project_mapping_set",
+    "render_logical",
     "union_deterministic_eva",
     "union_eva",
     "union_mapping_sets",

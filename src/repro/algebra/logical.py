@@ -1,0 +1,250 @@
+"""The logical query-plan layer over spanner-algebra expressions.
+
+A :class:`LogicalNode` tree is the optimizer's working representation of a
+:class:`~repro.algebra.expressions.SpannerExpression`: the same operators
+(atom, projection, union, join), but with *n-ary* union and join nodes so
+that rewrite rules (:mod:`repro.algebra.optimizer`) can flatten, reorder
+and push operators without fighting the binary expression encoding.
+
+The layer is deliberately lossless in both directions:
+
+* :func:`logical_from_expression` builds the tree (binary unions/joins stay
+  binary until the flattening rewrite merges them);
+* :func:`expression_from_logical` folds a tree back into a
+  :class:`SpannerExpression` — this is how the optimizer hands a *fused*
+  subtree to the automaton-level constructions of Proposition 4.4.
+
+:func:`render_logical` pretty-prints a tree for the ``repro explain``
+subcommand and :meth:`Spanner.explain`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from repro.core.errors import CompilationError
+from repro.algebra.expressions import (
+    Atom,
+    Join,
+    Projection,
+    SpannerExpression,
+    UnionExpr,
+)
+
+__all__ = [
+    "LogicalNode",
+    "LogicalAtom",
+    "LogicalProject",
+    "LogicalUnion",
+    "LogicalJoin",
+    "logical_from_expression",
+    "expression_from_logical",
+    "render_logical",
+    "render_tree",
+]
+
+
+class LogicalNode:
+    """Base class of logical-plan operator nodes."""
+
+    __slots__ = ()
+
+    def variables(self) -> frozenset[str]:
+        """The variables the node's output mappings may assign."""
+        raise NotImplementedError
+
+    def children(self) -> tuple["LogicalNode", ...]:
+        """The direct operands, left to right."""
+        return ()
+
+    def atoms(self) -> Iterator[Atom]:
+        """The atoms of the subtree, left to right."""
+        for child in self.children():
+            yield from child.atoms()
+
+    def walk(self) -> Iterator["LogicalNode"]:
+        """Pre-order traversal of the subtree."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def label(self) -> str:
+        """The one-line operator label used by :func:`render_logical`."""
+        raise NotImplementedError
+
+
+class LogicalAtom(LogicalNode):
+    """A leaf wrapping one algebra :class:`Atom`."""
+
+    __slots__ = ("atom",)
+
+    def __init__(self, atom: Atom) -> None:
+        if not isinstance(atom, Atom):
+            raise CompilationError(f"LogicalAtom expects an Atom, got {atom!r}")
+        self.atom = atom
+
+    def variables(self) -> frozenset[str]:
+        return self.atom.variables()
+
+    def atoms(self) -> Iterator[Atom]:
+        yield self.atom
+
+    def label(self) -> str:
+        source = self.atom.source
+        text = str(source)
+        if len(text) > 40:
+            text = text[:37] + "..."
+        return f"atom[{type(source).__name__}] {text}"
+
+    def __repr__(self) -> str:
+        return f"LogicalAtom({self.atom!r})"
+
+
+class LogicalProject(LogicalNode):
+    """``π_Y(child)``."""
+
+    __slots__ = ("child", "keep")
+
+    def __init__(self, child: LogicalNode, keep: Iterable[str]) -> None:
+        self.child = child
+        self.keep = frozenset(keep)
+
+    def variables(self) -> frozenset[str]:
+        return self.child.variables() & self.keep
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"π[{', '.join(sorted(self.keep))}]"
+
+    def __repr__(self) -> str:
+        return f"LogicalProject({self.child!r}, {sorted(self.keep)!r})"
+
+
+class _NaryNode(LogicalNode):
+    """Shared implementation of the n-ary union and join nodes."""
+
+    __slots__ = ("operands",)
+    _symbol = "?"
+
+    def __init__(self, operands: Iterable[LogicalNode]) -> None:
+        operands = tuple(operands)
+        if len(operands) < 2:
+            raise CompilationError(
+                f"{type(self).__name__} requires at least two operands, got {len(operands)}"
+            )
+        self.operands = operands
+
+    def variables(self) -> frozenset[str]:
+        return frozenset().union(*(child.variables() for child in self.operands))
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return self.operands
+
+    def label(self) -> str:
+        return f"{self._symbol} ({len(self.operands)}-way)"
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({list(self.operands)!r})"
+
+
+class LogicalUnion(_NaryNode):
+    """``child1 ∪ child2 ∪ …`` (n-ary after the flattening rewrite)."""
+
+    __slots__ = ()
+    _symbol = "∪"
+
+
+class LogicalJoin(_NaryNode):
+    """``child1 ⋈ child2 ⋈ …`` (n-ary after the flattening rewrite)."""
+
+    __slots__ = ()
+    _symbol = "⋈"
+
+
+# ---------------------------------------------------------------------- #
+# Conversions
+# ---------------------------------------------------------------------- #
+
+
+def logical_from_expression(expression: SpannerExpression) -> LogicalNode:
+    """Build the logical tree of an algebra expression (binary, unflattened)."""
+    if isinstance(expression, Atom):
+        return LogicalAtom(expression)
+    if isinstance(expression, Projection):
+        return LogicalProject(logical_from_expression(expression.child), expression.keep)
+    if isinstance(expression, UnionExpr):
+        return LogicalUnion(
+            (logical_from_expression(expression.left), logical_from_expression(expression.right))
+        )
+    if isinstance(expression, Join):
+        return LogicalJoin(
+            (logical_from_expression(expression.left), logical_from_expression(expression.right))
+        )
+    raise CompilationError(f"unsupported expression {expression!r}")
+
+
+def expression_from_logical(node: LogicalNode) -> SpannerExpression:
+    """Fold a logical tree back into a :class:`SpannerExpression`.
+
+    N-ary unions and joins fold left-deep, preserving operand order (which
+    the join-reordering rewrite has already optimized).
+    """
+    if isinstance(node, LogicalAtom):
+        return node.atom
+    if isinstance(node, LogicalProject):
+        return Projection(expression_from_logical(node.child), node.keep)
+    if isinstance(node, (LogicalUnion, LogicalJoin)):
+        combine: Callable[[SpannerExpression, SpannerExpression], SpannerExpression]
+        combine = UnionExpr if isinstance(node, LogicalUnion) else Join
+        folded = expression_from_logical(node.operands[0])
+        for operand in node.operands[1:]:
+            folded = combine(folded, expression_from_logical(operand))
+        return folded
+    raise CompilationError(f"unsupported logical node {node!r}")
+
+
+def render_tree(
+    root,
+    label: Callable[[object], str],
+    children: Callable[[object], tuple],
+    annotate: Callable[[object], str] | None = None,
+) -> str:
+    """Render any operator tree as an indented box-drawing string.
+
+    Shared by :func:`render_logical` and
+    :func:`repro.runtime.operators.render_physical`, so the two plan
+    renderings of ``repro explain`` can never drift apart.  *annotate*,
+    when given, maps a node to an extra note appended to its line.
+    """
+    lines: list[str] = []
+
+    def visit(current, prefix: str, tail: str) -> None:
+        annotation = annotate(current) if annotate is not None else ""
+        note = f"  -- {annotation}" if annotation else ""
+        lines.append(f"{prefix}{tail}{label(current)}{note}")
+        offspring = children(current)
+        child_prefix = prefix + ("   " if tail == "└─ " else "│  " if tail == "├─ " else "")
+        for index, child in enumerate(offspring):
+            last = index == len(offspring) - 1
+            visit(child, child_prefix, "└─ " if last else "├─ ")
+
+    visit(root, "", "")
+    return "\n".join(lines)
+
+
+def render_logical(
+    node: LogicalNode, annotate: Callable[[LogicalNode], str] | None = None
+) -> str:
+    """Render a logical tree as an indented multi-line string.
+
+    *annotate*, when given, maps a node to an extra annotation appended to
+    its line (the optimizer uses it for estimated automaton sizes).
+    """
+    return render_tree(
+        node,
+        label=lambda current: current.label(),
+        children=lambda current: current.children(),
+        annotate=annotate,
+    )

@@ -18,40 +18,57 @@ from typing import Iterable
 
 from repro.core.mappings import Mapping
 
-__all__ = ["join_mapping_sets", "union_mapping_sets", "project_mapping_set"]
+__all__ = [
+    "hash_join_mappings",
+    "join_mapping_sets",
+    "union_mapping_sets",
+    "project_mapping_set",
+]
 
 
-def join_mapping_sets(left: Iterable[Mapping], right: Iterable[Mapping]) -> set[Mapping]:
-    """``M1 ⋈ M2``: unions of all compatible pairs of mappings.
+def hash_join_mappings(
+    left: Iterable[Mapping], right: Iterable[Mapping]
+) -> list[Mapping]:
+    """``M1 ⋈ M2`` as a hash join: build on the smaller side, probe with the larger.
 
-    The pairs are matched on their shared variables.  A simple hash join on
-    the shared-variable restriction keeps the common case close to linear
-    instead of quadratic.
+    Mappings are bucketed on the variables assigned by *every* mapping of
+    both sides (with partial mappings, only those are safe bucketing
+    keys); residual compatibility on sometimes-assigned variables is
+    re-checked pairwise inside a bucket.  The result is deduplicated and
+    ordered by first production, so callers that stream it (the runtime
+    hash-join operator) are deterministic.  This is the single
+    implementation of the join; :func:`join_mapping_sets` wraps it.
     """
     left = list(left)
     right = list(right)
     if not left or not right:
-        return set()
-
+        return []
     shared = frozenset.intersection(
         *(mapping.domain() for mapping in left)
     ) & frozenset.intersection(*(mapping.domain() for mapping in right))
 
-    # Bucket the right side by its values on the shared variables that are
-    # guaranteed to be present on both sides; residual compatibility (on
-    # variables present only in some mappings) is re-checked pairwise.
+    build, probe = (left, right) if len(left) <= len(right) else (right, left)
     buckets: dict[tuple, list[Mapping]] = {}
-    for mapping in right:
+    for mapping in build:
         key = tuple(sorted((variable, mapping[variable]) for variable in shared))
         buckets.setdefault(key, []).append(mapping)
 
-    result: set[Mapping] = set()
-    for mapping in left:
+    out: list[Mapping] = []
+    seen: set[Mapping] = set()
+    for mapping in probe:
         key = tuple(sorted((variable, mapping[variable]) for variable in shared))
         for candidate in buckets.get(key, ()):
             if mapping.compatible(candidate):
-                result.add(mapping.union(candidate))
-    return result
+                joined = mapping.union(candidate)
+                if joined not in seen:
+                    seen.add(joined)
+                    out.append(joined)
+    return out
+
+
+def join_mapping_sets(left: Iterable[Mapping], right: Iterable[Mapping]) -> set[Mapping]:
+    """``M1 ⋈ M2``: unions of all compatible pairs of mappings."""
+    return set(hash_join_mappings(left, right))
 
 
 def union_mapping_sets(left: Iterable[Mapping], right: Iterable[Mapping]) -> set[Mapping]:

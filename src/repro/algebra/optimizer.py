@@ -1,0 +1,490 @@
+"""Cost-based optimization of spanner-algebra expressions.
+
+The paper offers two evaluation routes for an algebra expression: fuse it
+into a single extended VA with the automaton-level constructions of
+Proposition 4.4 (the route of Propositions 4.5/4.6, and the only one
+:mod:`repro.algebra.compile` implements), or evaluate subexpressions
+independently and combine their mapping sets.  Neither route wins always —
+the join construction is a quadratic product whose determinization can be
+exponential, while runtime combination materializes intermediate mapping
+sets.  :func:`optimize` chooses **per operator**:
+
+1. the expression is converted into a :class:`~repro.algebra.logical`
+   operator tree;
+2. rewrite rules run — union/join flattening, projection pushdown through
+   join and union, join reordering by estimated automaton size;
+3. a cost model walks the tree bottom-up and decides for every operator
+   whether to *fuse* it into its parent's automaton or to *cut* the edge
+   and execute it at runtime with the arena operators of
+   :mod:`repro.runtime.operators`.
+
+Join validation (the correctness gap of ``compile_expression``, whose
+``check_functional_joins`` defaults to ``False``): Proposition 4.4's join
+construction is only stated for *functional* spanners, so by default the
+optimizer checks :func:`~repro.automata.analysis.is_functional` **once per
+atom** that occurs under a join and raises a clear
+:class:`~repro.core.errors.CompilationError` for non-functional operands.
+Pass ``unchecked=True`` to skip the check — the atoms are then *assumed*
+functional.  Beyond the atom check, a join operand subtree is only
+*fused* when it is provably functional by structure (atoms functional;
+union branches with identical variable sets; see
+:func:`provably_functional`) — otherwise the join is cut, because the
+runtime hash join is correct for arbitrary mapping sets.  The structural
+guard is free and therefore stays active even under ``unchecked``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.core.errors import CompilationError
+from repro.automata.analysis import is_functional, statistics
+from repro.algebra.compile import compile_atom
+from repro.algebra.expressions import Atom, SpannerExpression
+from repro.algebra.logical import (
+    LogicalAtom,
+    LogicalJoin,
+    LogicalNode,
+    LogicalProject,
+    LogicalUnion,
+    expression_from_logical,
+    logical_from_expression,
+    render_logical,
+)
+from repro.runtime.operators import (
+    ArenaProject,
+    FusedLeaf,
+    HashJoin,
+    MergeUnion,
+    PhysicalOperator,
+    render_physical,
+)
+
+__all__ = [
+    "DEFAULT_JOIN_FUSE_THRESHOLD",
+    "DEFAULT_UNION_FUSE_THRESHOLD",
+    "AtomProfile",
+    "OptimizedPlan",
+    "estimate_fused_states",
+    "flatten_operators",
+    "optimize",
+    "provably_functional",
+    "push_projections",
+    "reorder_joins",
+]
+
+#: Above this many *estimated* product states, a join is cut and executed
+#: as a runtime hash join instead of the Proposition 4.4 product (whose
+#: determinization may then be exponential on top).
+DEFAULT_JOIN_FUSE_THRESHOLD = 64
+
+#: Unions are linear to fuse, so their threshold is far higher: only very
+#: wide unions (whose determinized product of branches explodes) are cut.
+DEFAULT_UNION_FUSE_THRESHOLD = 512
+
+
+# ---------------------------------------------------------------------- #
+# Rewrite rules (each is a pure LogicalNode -> LogicalNode function)
+# ---------------------------------------------------------------------- #
+
+
+def _rewrite_children(
+    node: LogicalNode, rule: Callable[[LogicalNode], LogicalNode]
+) -> LogicalNode:
+    if isinstance(node, LogicalProject):
+        return LogicalProject(rule(node.child), node.keep)
+    if isinstance(node, LogicalUnion):
+        return LogicalUnion(tuple(rule(child) for child in node.operands))
+    if isinstance(node, LogicalJoin):
+        return LogicalJoin(tuple(rule(child) for child in node.operands))
+    return node
+
+
+def flatten_operators(node: LogicalNode) -> LogicalNode:
+    """Merge nested unions into n-ary unions and nested joins into n-ary joins.
+
+    Both operators are associative and commutative on mapping sets, so
+    ``(a ∪ b) ∪ c`` becomes the 3-way union and ``(a ⋈ b) ⋈ c`` the 3-way
+    join — the form the reordering rule and the k-way runtime operators
+    want.
+    """
+    node = _rewrite_children(node, flatten_operators)
+    for kind in (LogicalUnion, LogicalJoin):
+        if isinstance(node, kind):
+            operands: list[LogicalNode] = []
+            for child in node.operands:
+                if isinstance(child, kind):
+                    operands.extend(child.operands)
+                else:
+                    operands.append(child)
+            if len(operands) != len(node.operands):
+                return kind(tuple(operands))
+    return node
+
+
+def _project(child: LogicalNode, keep: frozenset[str]) -> LogicalNode:
+    """``π_keep(child)``, dropping the node when it would be trivial."""
+    keep = keep & child.variables()
+    if keep == child.variables():
+        return child
+    return LogicalProject(child, keep)
+
+
+def push_projections(node: LogicalNode) -> LogicalNode:
+    """Push projections down through unions and joins; merge adjacent ones.
+
+    * ``π_Y(π_Z(e))``      → ``π_{Y∩Z}(e)``
+    * ``π_Y(e1 ∪ e2)``     → ``π_Y(e1) ∪ π_Y(e2)``
+    * ``π_Y(e1 ⋈ e2)``     → ``π_Y(π_{K1}(e1) ⋈ π_{K2}(e2))`` with
+      ``Ki = (Y ∪ shared_i) ∩ var(ei)`` — every variable shared with a
+      sibling stays, so compatibility checks see exactly the same spans
+      (sound for partial mappings: two mappings can only disagree on a
+      variable both sides may assign, which is always in ``shared_i``).
+      The outer projection disappears when the pushed join already
+      produces only variables of ``Y``.
+    * trivial projections (``var(e) ⊆ Y``) are removed.
+    """
+    if isinstance(node, LogicalProject):
+        child = node.child
+        keep = node.keep & child.variables()
+        if isinstance(child, LogicalProject):
+            return push_projections(LogicalProject(child.child, keep & child.keep))
+        if isinstance(child, LogicalUnion):
+            return LogicalUnion(
+                tuple(push_projections(_project(op, keep)) for op in child.operands)
+            )
+        if isinstance(child, LogicalJoin):
+            operands = child.operands
+            pushed: list[LogicalNode] = []
+            for index, operand in enumerate(operands):
+                siblings = frozenset().union(
+                    *(
+                        other.variables()
+                        for position, other in enumerate(operands)
+                        if position != index
+                    )
+                )
+                keep_i = (keep | (operand.variables() & siblings)) & operand.variables()
+                pushed.append(push_projections(_project(operand, keep_i)))
+            inner = LogicalJoin(tuple(pushed))
+            if inner.variables() <= keep:
+                return inner
+            return LogicalProject(inner, keep)
+        if keep == child.variables():
+            return push_projections(child)
+        return LogicalProject(push_projections(child), keep)
+    return _rewrite_children(node, push_projections)
+
+
+def reorder_joins(
+    node: LogicalNode, size_of: Callable[[LogicalNode], int]
+) -> LogicalNode:
+    """Order the operands of every join by ascending estimated automaton size.
+
+    The fused route builds the Proposition 4.4 product pairwise left to
+    right and the runtime hash join probes in the same order, so putting
+    the smallest operands first keeps every intermediate small (the
+    classic greedy join ordering).  The sort is stable: equal estimates
+    keep their original relative order.
+    """
+    node = _rewrite_children(node, lambda child: reorder_joins(child, size_of))
+    if isinstance(node, LogicalJoin):
+        ordered = tuple(sorted(node.operands, key=size_of))
+        if ordered != node.operands:
+            return LogicalJoin(ordered)
+    return node
+
+
+def _signature(node: LogicalNode) -> tuple:
+    """A structural signature used to detect whether a rewrite fired."""
+    if isinstance(node, LogicalAtom):
+        return ("atom", id(node.atom))
+    if isinstance(node, LogicalProject):
+        return ("project", tuple(sorted(node.keep)), _signature(node.child))
+    kind = "union" if isinstance(node, LogicalUnion) else "join"
+    return (kind, tuple(_signature(child) for child in node.operands))
+
+
+# ---------------------------------------------------------------------- #
+# Cost model
+# ---------------------------------------------------------------------- #
+
+
+def estimate_fused_states(
+    node: LogicalNode, atom_states: Callable[[Atom], int]
+) -> int:
+    """Estimated state count of the fused automaton for *node*.
+
+    Follows the size bounds of Proposition 4.4: projection is linear,
+    union adds one fresh initial state, and the join product is quadratic
+    (the product of the operand estimates).
+    """
+    if isinstance(node, LogicalAtom):
+        return max(1, atom_states(node.atom))
+    if isinstance(node, LogicalProject):
+        return estimate_fused_states(node.child, atom_states)
+    if isinstance(node, LogicalUnion):
+        return 1 + sum(estimate_fused_states(child, atom_states) for child in node.operands)
+    if isinstance(node, LogicalJoin):
+        product = 1
+        for child in node.operands:
+            product *= estimate_fused_states(child, atom_states)
+        return product
+    raise CompilationError(f"unsupported logical node {node!r}")
+
+
+def provably_functional(
+    node: LogicalNode, atom_functional: Callable[[Atom], bool]
+) -> bool:
+    """Whether the subtree is functional *by structure*.
+
+    Atoms are decided exactly (``is_functional`` on the compiled atom);
+    projections of functional spanners stay functional; a join of
+    functional spanners is functional; a union is only provably functional
+    when every branch is and all branches produce the **same** variable
+    set (otherwise some output mapping misses a variable).
+    """
+    if isinstance(node, LogicalAtom):
+        return atom_functional(node.atom)
+    if isinstance(node, LogicalProject):
+        return provably_functional(node.child, atom_functional)
+    if isinstance(node, LogicalJoin):
+        return all(provably_functional(child, atom_functional) for child in node.operands)
+    if isinstance(node, LogicalUnion):
+        if not all(provably_functional(child, atom_functional) for child in node.operands):
+            return False
+        variable_sets = {child.variables() for child in node.operands}
+        return len(variable_sets) == 1
+    raise CompilationError(f"unsupported logical node {node!r}")
+
+
+# ---------------------------------------------------------------------- #
+# The optimizer
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class AtomProfile:
+    """Everything the optimizer measured about one atom, computed once."""
+
+    atom: Atom
+    num_states: int
+    functional: bool | None = None  # None = not needed (no joins / unchecked)
+    eva: object = field(default=None, repr=False)  # the compiled atom eVA
+
+
+@dataclass
+class OptimizedPlan:
+    """The output of :func:`optimize`: logical trees plus the physical plan."""
+
+    expression: SpannerExpression
+    logical: LogicalNode
+    rewritten: LogicalNode
+    applied_rules: tuple[str, ...]
+    physical: PhysicalOperator
+    atom_profiles: tuple[AtomProfile, ...]
+    seconds: float
+    _estimates: dict[int, int] = field(default_factory=dict, repr=False)
+
+    @property
+    def is_hybrid(self) -> bool:
+        """Whether the plan cut at least one edge (has runtime operators)."""
+        return not isinstance(self.physical, FusedLeaf)
+
+    def explain(self) -> str:
+        """Human-readable logical → physical rendering (``repro explain``)."""
+        annotate = (
+            (lambda node: f"est {self._estimates[id(node)]} states")
+            if self._estimates
+            else None
+        )
+        lines = [
+            "logical plan:",
+            render_logical(self.logical),
+            "",
+            f"rewrites applied: {', '.join(self.applied_rules) or 'none'}",
+        ]
+        if self.applied_rules:
+            lines += ["", "optimized logical plan:", render_logical(self.rewritten, annotate)]
+        lines += ["", "physical plan:", render_physical(self.physical)]
+        return "\n".join(lines)
+
+
+def _validate_join_atoms(
+    rewritten: LogicalNode, functional_of: Callable[[Atom], bool]
+) -> None:
+    """Check every atom under a join once; raise for non-functional ones."""
+    checked: set[int] = set()
+    for node in rewritten.walk():
+        if not isinstance(node, LogicalJoin):
+            continue
+        for operand in node.operands:
+            for atom in operand.atoms():
+                if id(atom) in checked:
+                    continue
+                checked.add(id(atom))
+                if not functional_of(atom):
+                    raise CompilationError(
+                        f"join operand atom {atom!r} is not functional: the "
+                        "automaton-level join construction (Proposition 4.4) "
+                        "requires functional spanners and would silently "
+                        "produce a wrong automaton.  Pass unchecked=True to "
+                        "skip this validation (at your own risk)."
+                    )
+
+
+def optimize(
+    expression: SpannerExpression,
+    alphabet: Iterable[str] = (),
+    *,
+    unchecked: bool = False,
+    enable_rewrites: bool = True,
+    join_fuse_threshold: int = DEFAULT_JOIN_FUSE_THRESHOLD,
+    union_fuse_threshold: int = DEFAULT_UNION_FUSE_THRESHOLD,
+) -> OptimizedPlan:
+    """Optimize *expression* into a physical plan for *alphabet*.
+
+    The returned plan's :attr:`~OptimizedPlan.physical` tree is not yet
+    compiled — call ``physical.prepare(alphabet_key)`` (the facade does)
+    before executing documents through it.
+
+    ``join_fuse_threshold`` / ``union_fuse_threshold`` bound the estimated
+    state count above which a join / union is cut; ``0`` forces every
+    operator to execute at runtime and a very large value forces full
+    fusion (the monolithic Proposition 4.5/4.6 route).  ``enable_rewrites``
+    exists so tests can pin the cost model with and without the rewrite
+    pass.  ``unchecked`` skips the per-atom functional-join validation.
+    """
+    if not isinstance(expression, SpannerExpression):
+        raise CompilationError(f"cannot optimize {expression!r}: not an algebra expression")
+    start = time.perf_counter()
+    alphabet = frozenset(alphabet)
+
+    profiles: dict[int, AtomProfile] = {}
+
+    def profile_of(atom: Atom) -> AtomProfile:
+        profile = profiles.get(id(atom))
+        if profile is None:
+            compiled = compile_atom(atom, alphabet)
+            profile = AtomProfile(atom, statistics(compiled).num_states, eva=compiled)
+            profiles[id(atom)] = profile
+        return profile
+
+    def functional_of(atom: Atom) -> bool:
+        profile = profile_of(atom)
+        if profile.functional is None:
+            profile.functional = is_functional(profile.eva)
+        return profile.functional
+
+    def atom_states(atom: Atom) -> int:
+        return profile_of(atom).num_states
+
+    logical = logical_from_expression(expression)
+
+    applied: list[str] = []
+    rewritten = logical
+    if enable_rewrites:
+        for name, rule in (
+            ("flatten-operators", flatten_operators),
+            ("push-projections", push_projections),
+            (
+                "reorder-joins",
+                lambda node: reorder_joins(
+                    node, lambda child: estimate_fused_states(child, atom_states)
+                ),
+            ),
+        ):
+            candidate = rule(rewritten)
+            if _signature(candidate) != _signature(rewritten):
+                applied.append(name)
+                rewritten = candidate
+
+    if not unchecked:
+        _validate_join_atoms(rewritten, functional_of)
+
+    estimates: dict[int, int] = {}
+    for node in rewritten.walk():
+        estimates[id(node)] = estimate_fused_states(node, atom_states)
+
+    # Bottom-up cut decisions.  A subtree that stays fusible is carried as
+    # its logical node; materializing the FusedLeaf happens only when a
+    # parent cuts (or at the root).
+    def as_physical(node: LogicalNode, fusible: bool, physical: PhysicalOperator | None):
+        if fusible:
+            return FusedLeaf(
+                expression_from_logical(node),
+                reason=f"fused subtree (est {estimates[id(node)]} states)",
+            )
+        return physical
+
+    def build(node: LogicalNode) -> tuple[bool, PhysicalOperator | None]:
+        if isinstance(node, LogicalAtom):
+            return True, None
+        if isinstance(node, LogicalProject):
+            child_fusible, child_physical = build(node.child)
+            if child_fusible:
+                return True, None
+            return False, ArenaProject(
+                child_physical,
+                node.keep,
+                reason="child cut: project the runtime result's arena cells",
+            )
+        built = [(child, *build(child)) for child in node.operands]
+        all_fusible = all(fusible for _child, fusible, _physical in built)
+        estimate = estimates[id(node)]
+        if isinstance(node, LogicalUnion):
+            if all_fusible and estimate <= union_fuse_threshold:
+                return True, None
+            reason = (
+                f"est {estimate} states > union threshold {union_fuse_threshold}"
+                if all_fusible
+                else "an operand was cut: merge result sets at runtime"
+            )
+            return False, MergeUnion(
+                tuple(as_physical(*entry) for entry in built), reason=reason
+            )
+        if isinstance(node, LogicalJoin):
+            # ``unchecked`` skips the (possibly expensive) per-atom
+            # is_functional computation by *assuming* atoms functional; the
+            # structural guard stays on either way — it is free, and fusing
+            # a join over e.g. a union with mismatched branch variables is
+            # provably wrong no matter what the atoms are.
+            assume = (lambda _atom: True) if unchecked else functional_of
+            functional = all(
+                provably_functional(child, assume) for child in node.operands
+            )
+            if all_fusible and functional and estimate <= join_fuse_threshold:
+                return True, None
+            if not functional:
+                reason = (
+                    "an operand is not provably functional: the Prop. 4.4 "
+                    "product requires functional spanners, join at runtime"
+                )
+            elif not all_fusible:
+                reason = "an operand was cut: hash-join result sets at runtime"
+            else:
+                reason = (
+                    f"est product {estimate} states > join threshold "
+                    f"{join_fuse_threshold}: avoid the quadratic product + "
+                    "determinization, hash-join at runtime"
+                )
+            return False, HashJoin(
+                tuple(as_physical(*entry) for entry in built), reason=reason
+            )
+        raise CompilationError(f"unsupported logical node {node!r}")
+
+    root_fusible, root_physical = build(rewritten)
+    physical = as_physical(rewritten, root_fusible, root_physical)
+
+    return OptimizedPlan(
+        expression=expression,
+        logical=logical,
+        rewritten=rewritten,
+        applied_rules=tuple(applied),
+        physical=physical,
+        atom_profiles=tuple(profiles.values()),
+        seconds=time.perf_counter() - start,
+        _estimates=estimates,
+    )

@@ -1,6 +1,6 @@
 """Command line interface: ``python -m repro``.
 
-Four subcommands expose the library's main operations on files (or stdin):
+Five subcommands expose the library's main operations on files (or stdin):
 
 ``extract``
     Evaluate a regex-formula spanner over a document and print one line per
@@ -12,6 +12,15 @@ Four subcommands expose the library's main operations on files (or stdin):
 ``inspect``
     Compile a spanner and print the pipeline report and the size statistics
     of the resulting deterministic sequential eVA.
+
+``explain``
+    Print the logical → physical query plan of a spanner.  One pattern
+    shows the trivial single-atom plan; several patterns are combined into
+    an algebra expression (``--combine join|union``, optionally projected
+    with ``--project``), which exercises the cost-based optimizer: the
+    output shows the rewritten logical tree, the estimated automaton sizes
+    and, per operator, whether it was fused into an automaton or cut into
+    a runtime arena operator.
 
 ``batch``
     Compile once and evaluate over many document files with the batch
@@ -59,6 +68,8 @@ def build_parser() -> argparse.ArgumentParser:
             help="evaluation engine: let the planner decide (auto, default), "
             "the dense-table arena runtime (compiled), on-the-fly subset "
             "construction with no up-front determinization (compiled-otf), "
+            "the optimizer's physical operator plan for algebra expressions "
+            "(hybrid; same as auto on a plain regex pattern), "
             "or the legacy dict-based loop (reference)",
         )
 
@@ -81,6 +92,41 @@ def build_parser() -> argparse.ArgumentParser:
 
     inspect = subparsers.add_parser("inspect", help="show the compilation pipeline report")
     add_common(inspect)
+
+    explain = subparsers.add_parser(
+        "explain", help="print the logical → physical query plan"
+    )
+    explain.add_argument(
+        "patterns",
+        nargs="+",
+        metavar="pattern",
+        help="one or more regex formulas; several are combined into an "
+        "algebra expression with --combine",
+    )
+    explain.add_argument(
+        "--combine",
+        choices=["join", "union"],
+        default="join",
+        help="how to combine multiple patterns (default: join)",
+    )
+    explain.add_argument(
+        "--project",
+        metavar="VARS",
+        default=None,
+        help="comma-separated variables to project the expression onto",
+    )
+    explain.add_argument(
+        "--document",
+        default=None,
+        help="path of a document whose alphabet the plan is built for "
+        "(omit for the empty alphabet)",
+    )
+    explain.add_argument(
+        "--unchecked",
+        action="store_true",
+        help="skip the functional-join validation of the optimizer",
+    )
+    add_engine(explain)
 
     batch = subparsers.add_parser(
         "batch", help="evaluate one spanner over many documents (compile once)"
@@ -163,6 +209,29 @@ def _run_inspect(args: argparse.Namespace, document: Document, out) -> int:
     return 0
 
 
+def _run_explain(args: argparse.Namespace, out) -> int:
+    from repro.core.errors import CompilationError
+    from repro.algebra.expressions import Atom
+
+    expression = Atom(args.patterns[0])
+    for pattern in args.patterns[1:]:
+        atom = Atom(pattern)
+        expression = (
+            expression.join(atom) if args.combine == "join" else expression.union(atom)
+        )
+    if args.project is not None:
+        keep = [variable.strip() for variable in args.project.split(",") if variable.strip()]
+        expression = expression.project(keep)
+    document = _read_document(args.document, stdin=()) if args.document else ""
+    spanner = Spanner.from_expression(expression, unchecked=args.unchecked)
+    try:
+        print(spanner.explain(document, engine=args.engine), file=out)
+    except CompilationError as error:
+        print(f"repro explain: error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _run_batch(args: argparse.Namespace, out) -> int:
     if args.chunk_size < 1:
         print(f"repro batch: error: --chunk-size must be positive, got {args.chunk_size}", file=sys.stderr)
@@ -206,6 +275,8 @@ def main(argv: list[str] | None = None, stdin: Iterable[str] | None = None, out=
     args = parser.parse_args(argv)
     if args.command == "batch":
         return _run_batch(args, out)
+    if args.command == "explain":
+        return _run_explain(args, out)
     document = _read_document(args.document, stdin)
     if args.command == "extract":
         return _run_extract(args, document, out)

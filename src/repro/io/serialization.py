@@ -37,6 +37,8 @@ __all__ = [
     "va_from_dict",
     "eva_to_dict",
     "eva_from_dict",
+    "expression_to_dict",
+    "expression_from_dict",
     "save_automaton",
     "load_automaton",
     "mapping_to_dict",
@@ -154,6 +156,81 @@ def eva_from_dict(payload: TypingMapping) -> ExtendedVA:
         marker_set = MarkerSet(_marker_from_json(marker) for marker in markers)
         automaton.add_variable_transition(source, marker_set, target)
     return automaton
+
+
+# ---------------------------------------------------------------------- #
+# Spanner-algebra expressions
+# ---------------------------------------------------------------------- #
+
+
+def expression_to_dict(expression) -> dict:
+    """Serialize a :class:`~repro.algebra.expressions.SpannerExpression`.
+
+    The tree structure maps one-to-one onto nested dictionaries; atoms
+    embed their source either as a regex pattern (``str(ast)`` renders the
+    concrete syntax the parser accepts, so the round trip is exact) or as
+    a :func:`va_to_dict` / :func:`eva_to_dict` automaton document.  This is
+    the form the batch engine can use to ship expression-backed spanners
+    to workers that do not share memory with the parent.
+    """
+    from repro.algebra.expressions import Atom, Join, Projection, UnionExpr
+    from repro.regex.ast import RegexNode
+
+    if isinstance(expression, Atom):
+        source = expression.source
+        if isinstance(source, RegexNode):
+            payload: dict = {"kind": "regex", "pattern": str(source)}
+        elif isinstance(source, ExtendedVA):
+            payload = eva_to_dict(source)
+        elif isinstance(source, VariableSetAutomaton):
+            payload = va_to_dict(source)
+        else:
+            raise SerializationError(f"cannot serialize atom source {source!r}")
+        return {"kind": "expression", "op": "atom", "source": payload}
+    if isinstance(expression, Projection):
+        return {
+            "kind": "expression",
+            "op": "project",
+            "keep": sorted(expression.keep),
+            "child": expression_to_dict(expression.child),
+        }
+    if isinstance(expression, (UnionExpr, Join)):
+        return {
+            "kind": "expression",
+            "op": "union" if isinstance(expression, UnionExpr) else "join",
+            "left": expression_to_dict(expression.left),
+            "right": expression_to_dict(expression.right),
+        }
+    raise SerializationError(f"cannot serialize expression {expression!r}")
+
+
+def expression_from_dict(payload: TypingMapping):
+    """Rebuild a spanner-algebra expression from :func:`expression_to_dict`."""
+    from repro.algebra.expressions import Atom, Join, Projection, UnionExpr
+    from repro.regex.parser import parse_regex
+
+    if payload.get("kind") != "expression":
+        raise SerializationError(
+            f"expected kind 'expression', got {payload.get('kind')!r}"
+        )
+    op = payload.get("op")
+    if op == "atom":
+        source = payload["source"]
+        kind = source.get("kind")
+        if kind == "regex":
+            return Atom(parse_regex(source["pattern"]))
+        if kind == "eva":
+            return Atom(eva_from_dict(source))
+        if kind == "va":
+            return Atom(va_from_dict(source))
+        raise SerializationError(f"unknown atom source kind {kind!r}")
+    if op == "project":
+        return Projection(expression_from_dict(payload["child"]), payload["keep"])
+    if op in ("union", "join"):
+        left = expression_from_dict(payload["left"])
+        right = expression_from_dict(payload["right"])
+        return UnionExpr(left, right) if op == "union" else Join(left, right)
+    raise SerializationError(f"unknown expression op {op!r}")
 
 
 # ---------------------------------------------------------------------- #

@@ -16,7 +16,10 @@ reference implementation, organised around the
   Algorithm 3;
 * :func:`choose_plan` picks the engine from automaton statistics, and
   :func:`run_batch` streams many documents through one compiled automaton,
-  serially or across processes.
+  serially or across processes;
+* :mod:`repro.runtime.operators` holds the physical operators of hybrid
+  plans — fused leaves plus hash join, merge union and arena projection
+  executing the cut edges of an optimized algebra expression.
 """
 
 from repro.runtime.batch import freeze_result, run_batch, thaw_result
@@ -28,16 +31,31 @@ from repro.runtime.engine import (
     evaluate_compiled,
     evaluate_compiled_arena,
 )
+from repro.runtime.operators import (
+    ArenaProject,
+    FusedLeaf,
+    HashJoin,
+    MergeUnion,
+    OperatorResult,
+    PhysicalOperator,
+    render_physical,
+)
 from repro.runtime.plan import ENGINE_CHOICES, ExecutionPlan, choose_plan
 from repro.runtime.subset import CompiledSubsetEVA, count_subset, evaluate_subset_arena
 
 __all__ = [
+    "ArenaProject",
     "CompiledEVA",
     "CompiledResultDag",
     "CompiledSubsetEVA",
     "ENGINE_CHOICES",
     "EvaluationScratch",
     "ExecutionPlan",
+    "FusedLeaf",
+    "HashJoin",
+    "MergeUnion",
+    "OperatorResult",
+    "PhysicalOperator",
     "choose_plan",
     "compile_eva",
     "count_compiled",
@@ -46,6 +64,7 @@ __all__ = [
     "evaluate_compiled_arena",
     "evaluate_subset_arena",
     "freeze_result",
+    "render_physical",
     "run_batch",
     "thaw_result",
 ]

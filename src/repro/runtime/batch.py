@@ -21,13 +21,16 @@ Two execution modes are supported:
     compiled automaton; legacy object DAGs from the reference engine are
     interned into an arena first.
 
-Three engines are available in both modes: ``engine="compiled"`` (the
+Four engines are available in both modes: ``engine="compiled"`` (the
 arena-building integer runtime over a :class:`CompiledEVA`),
 ``engine="compiled-otf"`` (the lazily determinized subset runtime over a
 :class:`~repro.runtime.subset.CompiledSubsetEVA` — pass that as the
 *compiled* argument; its discovered rows are shared across the whole
-batch) and ``engine="reference"`` (the legacy dict-based Algorithm 1),
-which the property tests use to cross-check results.
+batch), ``engine="hybrid"`` (a *prepared* physical operator tree from the
+expression optimizer — the portable physical plan pickles once per worker
+exactly like a compiled automaton, fused-leaf tables included) and
+``engine="reference"`` (the legacy dict-based Algorithm 1), which the
+property tests use to cross-check results.
 """
 
 from __future__ import annotations
@@ -40,12 +43,17 @@ from repro.enumeration.evaluate import ResultDag, evaluate as reference_evaluate
 from repro.runtime.compiled import CompiledEVA
 from repro.runtime.dag import CompiledResultDag
 from repro.runtime.engine import EvaluationScratch, evaluate_compiled_arena
+from repro.runtime.operators import OperatorResult, PhysicalOperator
 from repro.runtime.subset import CompiledSubsetEVA, evaluate_subset_arena
 
 __all__ = ["run_batch", "freeze_result", "thaw_result"]
 
-ENGINES = ("compiled", "compiled-otf", "reference")
+ENGINES = ("compiled", "compiled-otf", "reference", "hybrid")
 MODES = ("serial", "processes")
+
+#: Tag discriminating an :class:`OperatorResult` portable form from the
+#: arena's (whose first element is the integer document length).
+_MAPPINGS_TAG = "mappings"
 
 
 # ---------------------------------------------------------------------- #
@@ -64,17 +72,23 @@ def freeze_result(
     process-stable keys, so the parent can thaw results produced by a
     worker whose lazy subset runtime interned states in a different order.
     """
+    if isinstance(result, OperatorResult):
+        return (_MAPPINGS_TAG, *result.to_portable())
     if isinstance(result, CompiledResultDag):
         return result.to_portable()
     return CompiledResultDag.from_result_dag(result, compiled).to_portable()
 
 
-def thaw_result(portable: tuple, compiled) -> CompiledResultDag:
-    """Reattach a portable arena to *compiled*.
+def thaw_result(portable: tuple, compiled) -> CompiledResultDag | OperatorResult:
+    """Reattach a portable result to *compiled*.
 
-    Node sharing (and therefore path counts and enumeration output) is
-    preserved: the arena arrays travel verbatim.
+    Arena results are rebuilt onto the compiled automaton (node sharing,
+    and therefore path counts and enumeration output, is preserved: the
+    arena arrays travel verbatim); hybrid operator results are plain
+    mapping sets and need no tables.
     """
+    if portable and portable[0] == _MAPPINGS_TAG:
+        return OperatorResult.from_portable(portable[1:])
     return CompiledResultDag.from_portable(portable, compiled)
 
 
@@ -82,7 +96,7 @@ def thaw_result(portable: tuple, compiled) -> CompiledResultDag:
 # Worker-process plumbing (module level so it pickles under any context)
 # ---------------------------------------------------------------------- #
 
-_worker_compiled: CompiledEVA | CompiledSubsetEVA | None = None
+_worker_compiled: CompiledEVA | CompiledSubsetEVA | PhysicalOperator | None = None
 _worker_scratch: EvaluationScratch | None = None
 _worker_engine: str = "compiled"
 
@@ -97,6 +111,8 @@ def _init_worker(compiled, engine: str) -> None:
 
 
 def _evaluate_one(compiled, text: str, engine: str, scratch):
+    if engine == "hybrid":
+        return compiled.execute(text)
     if engine == "reference":
         return reference_evaluate(compiled.source, text, check_determinism=False)
     if engine == "compiled-otf":
@@ -137,29 +153,32 @@ def _chunked(pairs: Iterator[tuple[object, str]], size: int) -> Iterator[list]:
 
 
 def run_batch(
-    compiled: CompiledEVA | CompiledSubsetEVA,
+    compiled: CompiledEVA | CompiledSubsetEVA | PhysicalOperator,
     documents: DocumentCollection | Iterable[object],
     *,
     mode: str = "serial",
     engine: str = "compiled",
     chunk_size: int = 16,
     max_workers: int | None = None,
-) -> Iterator[tuple[object, ResultDag | CompiledResultDag]]:
+) -> Iterator[tuple[object, ResultDag | CompiledResultDag | OperatorResult]]:
     """Evaluate *compiled* over every document, streaming the results.
 
     Parameters
     ----------
     compiled:
-        The compiled automaton: a :class:`CompiledEVA` for the
+        The compiled evaluator: a :class:`CompiledEVA` for the
         ``compiled`` / ``reference`` engines, a :class:`CompiledSubsetEVA`
-        for ``compiled-otf``.
+        for ``compiled-otf``, or a prepared
+        :class:`~repro.runtime.operators.PhysicalOperator` tree for
+        ``hybrid``.
     documents:
         A :class:`~repro.core.documents.DocumentCollection` or any iterable
         of documents (``str`` or ``Document``).
     mode:
         ``"serial"`` (default) or ``"processes"``.
     engine:
-        ``"compiled"`` (default), ``"compiled-otf"`` or ``"reference"``.
+        ``"compiled"`` (default), ``"compiled-otf"``, ``"hybrid"`` or
+        ``"reference"``.
     chunk_size:
         Documents per worker task in process mode (ignored when serial).
     max_workers:
@@ -190,18 +209,27 @@ def run_batch(
         raise ValueError(
             f"engine={engine!r} needs a CompiledEVA, not a CompiledSubsetEVA"
         )
+    if engine == "hybrid" and not isinstance(compiled, PhysicalOperator):
+        raise ValueError(
+            "engine='hybrid' needs a prepared physical operator tree "
+            f"(got {type(compiled).__name__})"
+        )
+    if engine != "hybrid" and isinstance(compiled, PhysicalOperator):
+        raise ValueError(
+            f"engine={engine!r} cannot run a physical operator tree"
+        )
     collection = DocumentCollection.coerce(documents)
     return _stream_batch(compiled, collection, mode, engine, chunk_size, max_workers)
 
 
 def _stream_batch(
-    compiled: CompiledEVA | CompiledSubsetEVA,
+    compiled: CompiledEVA | CompiledSubsetEVA | PhysicalOperator,
     collection: DocumentCollection,
     mode: str,
     engine: str,
     chunk_size: int,
     max_workers: int | None,
-) -> Iterator[tuple[object, ResultDag | CompiledResultDag]]:
+) -> Iterator[tuple[object, ResultDag | CompiledResultDag | OperatorResult]]:
     pairs = _pairs_of(collection)
 
     if mode == "serial":

@@ -126,7 +126,7 @@ class CompiledResultDag:
     def __iter__(self) -> Iterator[Mapping]:
         return self.mappings()
 
-    def mappings(self) -> Iterator[Mapping]:
+    def mappings(self, keep: frozenset[str] | None = None) -> Iterator[Mapping]:
         """Enumerate the output mappings (Algorithm 2) on integer arrays.
 
         A depth-first walk over the arena with an explicit stack; each
@@ -134,6 +134,12 @@ class CompiledResultDag:
         ``(marker_set_id, position)`` labels accumulated so far, in
         increasing position order.  A ⊥ payload completes one path, which
         is decoded into a :class:`Mapping` only then.
+
+        When *keep* is given, only those variables are decoded — the
+        arena-level projection of :mod:`repro.runtime.operators`: markers
+        of projected-away variables never allocate a
+        :class:`~repro.core.spans.Span` (the resulting mappings are not
+        deduplicated; projection callers do that).
         """
         cell_nodes = self.cell_nodes
         cell_nexts = self.cell_nexts
@@ -156,9 +162,13 @@ class CompiledResultDag:
                         assignment: dict[str, Span] = {}
                         for set_id, position in steps:
                             for variable in opens_by_set[set_id]:
-                                opens[variable] = position
+                                if keep is None or variable in keep:
+                                    opens[variable] = position
                             for variable in closes_by_set[set_id]:
-                                assignment[variable] = Span(opens.pop(variable), position)
+                                if keep is None or variable in keep:
+                                    assignment[variable] = Span(
+                                        opens.pop(variable), position
+                                    )
                         yield Mapping(assignment)
                         cell = following
                         continue

@@ -24,6 +24,13 @@ run:
     baseline that the property suite cross-checks the compiled engines
     against.
 
+``hybrid``
+    For spanner-algebra expressions only: the cost-based optimizer
+    (:mod:`repro.algebra.optimizer`) cut the expression tree, and the plan
+    carries a physical operator tree (:mod:`repro.runtime.operators`)
+    whose fused leaves each run their own compiled engine while join /
+    union / projection cut edges execute on the result arenas.
+
 :func:`choose_plan` implements the ``auto`` policy from an automaton's
 :class:`~repro.automata.analysis.AutomatonStatistics` (measured on the
 *sequential*, pre-determinization automaton): already-deterministic inputs
@@ -41,8 +48,10 @@ from repro.automata.analysis import AutomatonStatistics
 __all__ = ["ENGINE_CHOICES", "ExecutionPlan", "choose_plan"]
 
 #: Engine names accepted by the facade and the CLI; ``auto`` resolves to a
-#: concrete engine through :func:`choose_plan`.
-ENGINE_CHOICES = ("auto", "compiled", "compiled-otf", "reference")
+#: concrete engine through :func:`choose_plan`.  ``hybrid`` is only
+#: meaningful for spanner-algebra expression sources (elsewhere the facade
+#: treats it as ``auto``).
+ENGINE_CHOICES = ("auto", "compiled", "compiled-otf", "reference", "hybrid")
 
 #: Above this many sequential-automaton states, ``auto`` refuses to
 #: determinize a non-deterministic automaton up front: the subset
@@ -59,16 +68,29 @@ class ExecutionPlan:
     ``determinize_upfront`` says whether the compilation pipeline runs
     :func:`~repro.automata.transforms.determinize` before evaluation, and
     ``reason`` records the planner's justification for logs and tests.
+    ``operators`` is the physical operator tree of a ``hybrid`` plan
+    (a prepared :class:`~repro.runtime.operators.PhysicalOperator`), and
+    ``None`` for the monolithic single-automaton engines.
     """
 
     engine: str
     determinize_upfront: bool
     reason: str
+    operators: object | None = None
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINE_CHOICES or self.engine == "auto":
             raise ValueError(
                 f"an ExecutionPlan needs a concrete engine, got {self.engine!r}"
+            )
+        if self.engine == "hybrid" and self.operators is None:
+            raise ValueError(
+                "a hybrid ExecutionPlan carries its physical operator tree; "
+                "build one through the optimizer (repro.algebra.optimizer)"
+            )
+        if self.engine != "hybrid" and self.operators is not None:
+            raise ValueError(
+                f"engine {self.engine!r} does not execute a physical operator tree"
             )
 
 
@@ -88,6 +110,11 @@ def choose_plan(
     if engine not in ENGINE_CHOICES:
         raise ValueError(
             f"unknown engine {engine!r}; expected one of {ENGINE_CHOICES}"
+        )
+    if engine == "hybrid":
+        raise ValueError(
+            "hybrid plans are produced by the expression optimizer "
+            "(repro.algebra.optimizer.optimize), not by choose_plan"
         )
     if engine == "reference":
         return ExecutionPlan("reference", True, "forced by caller")

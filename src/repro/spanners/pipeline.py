@@ -115,6 +115,11 @@ class CompilationPipeline:
         """The original spanner specification."""
         return self._source
 
+    @property
+    def base_alphabet(self) -> frozenset[str]:
+        """The user-supplied alphabet, unioned into every compilation."""
+        return self._base_alphabet
+
     def source_needs_alphabet(self) -> bool:
         """Whether compilation output depends on the document alphabet."""
         if isinstance(self._source, RegexNode):
@@ -192,6 +197,27 @@ class CompilationPipeline:
         compiled = compile_eva(extended, check_determinism=False)
         report.record("intern", extended, time.perf_counter() - start)
         return compiled
+
+    def optimize_expression(self, extra_alphabet: Iterable[str] = (), **options):
+        """Run the cost-based expression optimizer for this source.
+
+        Returns the :class:`~repro.algebra.optimizer.OptimizedPlan` whose
+        physical tree still needs :meth:`PhysicalOperator.prepare` for the
+        alphabet key (the :class:`~repro.spanners.Spanner` facade prepares
+        and caches it per key).  Non-expression sources are wrapped in an
+        :class:`~repro.algebra.expressions.Atom`, so ``repro explain`` can
+        render the (trivial) plan of a plain regex or automaton spanner.
+        *options* are forwarded to :func:`repro.algebra.optimizer.optimize`
+        (``unchecked``, thresholds, ``enable_rewrites``).
+        """
+        from repro.algebra.expressions import Atom
+        from repro.algebra.optimizer import optimize
+
+        source = self._source
+        if not isinstance(source, SpannerExpression):
+            source = Atom(source)
+        alphabet = self._base_alphabet | frozenset(extra_alphabet)
+        return optimize(source, alphabet, **options)
 
     def compile_runtime(self, extra_alphabet: Iterable[str] = ()):
         """Run the pipeline and intern the result into a :class:`CompiledEVA`.

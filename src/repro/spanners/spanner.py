@@ -26,6 +26,15 @@ cross-checked against the dict-based reference loop (``"reference"``).  A
 concrete engine name forces that engine.  Multi-document workloads go
 through :meth:`Spanner.run_batch`, which compiles once and streams every
 document through the same tables.
+
+Spanner-algebra expression sources additionally go through the cost-based
+optimizer (:mod:`repro.algebra.optimizer`): under ``engine="auto"`` (or
+the explicit ``"hybrid"``) the expression tree is rewritten (projection
+pushdown, union/join flattening, join reordering) and each operator either
+fuses into an automaton (Proposition 4.4) or cuts into a runtime operator
+over result arenas (:mod:`repro.runtime.operators`).  The optimized plan
+is cached in the same per-alphabet LRU entry as the other compilation
+artifacts; :meth:`Spanner.explain` renders the logical → physical plan.
 """
 
 from __future__ import annotations
@@ -66,6 +75,7 @@ class _CompiledState:
         "otf_runtime",
         "plan",
         "stats",
+        "optimized",
     )
 
     def __init__(self) -> None:
@@ -77,6 +87,7 @@ class _CompiledState:
         self.otf_runtime: CompiledSubsetEVA | None = None
         self.plan: ExecutionPlan | None = None
         self.stats: AutomatonStatistics | None = None
+        self.optimized = None  # OptimizedPlan, physical tree prepared for the key
 
 
 class Spanner:
@@ -89,6 +100,7 @@ class Spanner:
         *,
         engine: str = "auto",
         max_cached_alphabets: int = 8,
+        unchecked: bool = False,
     ) -> None:
         if engine not in ENGINE_CHOICES:
             raise ValueError(
@@ -102,6 +114,7 @@ class Spanner:
             source = parse_regex(source)
         self._pipeline = CompilationPipeline(source, alphabet)
         self._engine = engine
+        self._unchecked = unchecked
         self.max_cached_alphabets = max_cached_alphabets
         # One LRU entry per alphabet key; the sequential eVA, deterministic
         # eVA, both compiled runtimes and the plan share the entry so a
@@ -182,6 +195,31 @@ class Spanner:
         """How many alphabet keys currently sit in the compilation cache."""
         return len(self._states)
 
+    def explain(self, document: object = "", *, engine: str | None = None) -> str:
+        """Render the logical and physical plan that evaluates *document*.
+
+        Shows the logical operator tree of the source (non-expression
+        sources appear as a single atom), the rewrite rules that fired,
+        the optimized tree annotated with estimated automaton sizes, the
+        physical operator tree with each fused leaf's engine, and the
+        resolved :class:`ExecutionPlan`.  This is what the ``repro
+        explain`` CLI subcommand prints.
+        """
+        key = self._alphabet_key(document)
+        plan = self._plan_for_key(key, engine)
+        # Hybrid plans were prepared by _plan_for_key; a fully-fused plan
+        # is rendered unprepared — its single leaf would recompile the
+        # monolithic automaton that the "execution plan" line already
+        # describes.
+        optimized = self._optimized_for_key(key)
+        source = repr(self._pipeline.source)
+        if len(source) > 120:
+            source = source[:117] + "..."
+        lines = [f"source: {source}", "", optimized.explain(), ""]
+        lines.append(f"execution plan: engine={plan.engine}")
+        lines.append(f"reason: {plan.reason}")
+        return "\n".join(lines)
+
     # ------------------------------------------------------------------ #
     # Per-alphabet compilation cache (bounded LRU)
     # ------------------------------------------------------------------ #
@@ -238,16 +276,60 @@ class Spanner:
             state.otf_runtime = CompiledSubsetEVA(sequential)
         return state.otf_runtime
 
+    def _optimized_for_key(self, key: frozenset[str], *, prepare: bool = False):
+        """The cached :class:`OptimizedPlan` for *key*.
+
+        The physical tree's fused leaves are only compiled when *prepare*
+        is true — hybrid plans need them, but a fully-fused plan executes
+        through the regular monolithic cache instead, so preparing its
+        single leaf would compile the expression twice for nothing.
+        """
+        state = self._state_for_key(key)
+        if state.optimized is None:
+            state.optimized = self._pipeline.optimize_expression(
+                key, unchecked=self._unchecked
+            )
+        if prepare:
+            # Leaves compile over base ∪ key, exactly like the monolithic
+            # pipeline (and the optimizer's own atom profiling) do.
+            state.optimized.physical.prepare(self._pipeline.base_alphabet | key)
+        return state.optimized
+
     def _plan_for_key(self, key: frozenset[str], engine: str | None) -> ExecutionPlan:
         engine = self._engine if engine is None else engine
         if engine not in ENGINE_CHOICES:
             raise ValueError(
                 f"unknown engine {engine!r}; expected one of {ENGINE_CHOICES}"
             )
+        # Expression sources consult the cost-based optimizer: when it cuts
+        # the tree, both "auto" and the explicit "hybrid" run the physical
+        # operator plan.  When it fuses everything (or the source is not an
+        # expression at all), "hybrid" degrades to "auto" and the regular
+        # automaton-statistics planner decides over the original monolithic
+        # compilation (already cached alongside, and byte-identical to what
+        # pre-optimizer versions produced).
+        if engine in ("auto", "hybrid") and isinstance(
+            self._pipeline.source, SpannerExpression
+        ):
+            optimized = self._optimized_for_key(key)
+            if optimized.is_hybrid:
+                self._optimized_for_key(key, prepare=True)
+                state = self._state_for_key(key)
+                if state.plan is None or state.plan.engine != "hybrid":
+                    state.plan = ExecutionPlan(
+                        "hybrid",
+                        False,
+                        "optimizer cut the expression tree: "
+                        f"rewrites=[{', '.join(optimized.applied_rules) or 'none'}]",
+                        operators=optimized.physical,
+                    )
+                return state.plan
+        if engine == "hybrid":
+            engine = "auto"
         if engine != "auto":
             return choose_plan(engine=engine)
         state = self._state_for_key(key)
-        if state.plan is None:
+        if state.plan is None or state.plan.engine == "hybrid":
             state.plan = choose_plan(self._planner_stats(key), engine="auto")
         return state.plan
 
@@ -275,6 +357,8 @@ class Spanner:
         """
         key = self._alphabet_key(document)
         plan = self._plan_for_key(key, engine)
+        if plan.engine == "hybrid":
+            return plan.operators.execute(document)
         if plan.engine == "reference":
             automaton, _report = self._compiled_for_key(key)
             return run_evaluate(automaton, document, check_determinism=False)
@@ -318,8 +402,10 @@ class Spanner:
         else:
             key = frozenset()
         plan = self._plan_for_key(key, engine)
-        if plan.engine == "compiled-otf":
-            compiled: CompiledEVA | CompiledSubsetEVA = self._otf_runtime_for_key(key)
+        if plan.engine == "hybrid":
+            compiled: object = plan.operators
+        elif plan.engine == "compiled-otf":
+            compiled = self._otf_runtime_for_key(key)
         else:
             compiled = self._runtime_for_key(key)
         return run_batch_compiled(
@@ -340,6 +426,10 @@ class Spanner:
         """
         key = self._alphabet_key(document)
         plan = self._plan_for_key(key, engine)
+        if plan.engine == "hybrid":
+            # Cut-edge operators dedup while materializing, so the count is
+            # the size of the (already deduplicated) result set.
+            return plan.operators.execute(document).count()
         if plan.engine == "reference":
             automaton, _report = self._compiled_for_key(key)
             return count_mappings(automaton, document, check_determinism=False)

@@ -13,19 +13,21 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.documents import DocumentCollection
+from repro.algebra.expressions import SpannerExpression
 from repro.workloads.documents import (
     contact_document,
     dna_sequence,
     random_document,
     server_log,
 )
-from repro.workloads.spanners import contact_pattern
+from repro.workloads.spanners import contact_pattern, join_heavy_expression
 
 __all__ = [
     "NESTED_PATTERN",
     "BatchScenario",
     "contact_collection",
     "dna_collection",
+    "join_heavy_collection",
     "log_collection",
     "nested_collection",
     "random_collection",
@@ -36,11 +38,17 @@ __all__ = [
 
 @dataclass(frozen=True)
 class BatchScenario:
-    """A named multi-document workload: a collection plus its pattern."""
+    """A named multi-document workload: a collection plus its spanner spec.
+
+    Regex scenarios carry a ``pattern``; algebra scenarios (``join-heavy``)
+    carry an ``expression`` and a human-readable ``pattern`` description.
+    :meth:`build_spanner` resolves whichever is set.
+    """
 
     name: str
     pattern: str
     collection: DocumentCollection
+    expression: SpannerExpression | None = None
 
     @property
     def num_documents(self) -> int:
@@ -49,6 +57,14 @@ class BatchScenario:
     @property
     def total_length(self) -> int:
         return self.collection.total_length()
+
+    def build_spanner(self, **options):
+        """A :class:`~repro.spanners.Spanner` over the scenario's spec."""
+        from repro.spanners.spanner import Spanner
+
+        if self.expression is not None:
+            return Spanner.from_expression(self.expression, **options)
+        return Spanner.from_regex(self.pattern, **options)
 
 
 def contact_collection(
@@ -112,6 +128,24 @@ def nested_collection(
 NESTED_PATTERN = ".*x1{.*x2{.*}.*}.*"
 
 
+def join_heavy_collection(
+    num_documents: int, length_per_document: int = 1500, seed: int = 0
+) -> DocumentCollection:
+    """Random two-letter documents for the multi-atom ``join-heavy`` join.
+
+    Short relative to the fused product's state count, so the monolithic
+    route never amortizes its (exponentially many) subset discoveries
+    while the hybrid plan's four small atoms amortize within one document.
+    """
+    collection = DocumentCollection(name="join-heavy")
+    for index in range(num_documents):
+        collection.add(
+            random_document(length_per_document, alphabet="ab", seed=seed + index),
+            doc_id=f"join-heavy-{index}",
+        )
+    return collection
+
+
 def random_collection(
     num_documents: int, length_per_document: int = 1000, alphabet: str = "ab", seed: int = 0
 ) -> DocumentCollection:
@@ -161,9 +195,18 @@ def scenario(name: str, num_documents: int = 8, scale: int | None = None, seed: 
             NESTED_PATTERN,
             nested_collection(num_documents, scale if scale is not None else 40, seed),
         )
+    if name == "join-heavy":
+        return BatchScenario(
+            name,
+            "x{a}@7k ⋈ x{a}@11k ⋈ x{a}@13k ⋈ x{a}@17k (period-aligned join)",
+            join_heavy_collection(
+                num_documents, scale if scale is not None else 1500, seed
+            ),
+            expression=join_heavy_expression(),
+        )
     raise ValueError(f"unknown batch scenario {name!r}; expected one of {scenario_names()}")
 
 
 def scenario_names() -> tuple[str, ...]:
     """The available batch scenario names."""
-    return ("contacts", "logs", "dna", "random", "nested")
+    return ("contacts", "logs", "dna", "random", "nested", "join-heavy")

@@ -40,6 +40,8 @@ __all__ = [
     "figure1_document",
     "figure2_va",
     "figure3_eva",
+    "join_heavy_expression",
+    "periodic_atom",
     "nested_capture_regex",
     "proposition42_va",
     "random_census_nfa",
@@ -94,6 +96,35 @@ def contact_expression() -> SpannerExpression:
     names = Atom(r"(.*, )?name{[A-Za-z]+} <[a-z0-9@.\-]*>(, .*)?")
     emails = Atom(r"(.*<)email{[a-z]+@[a-z.]+}(>.*)?")
     return names.join(emails).project(["name", "email"])
+
+
+def periodic_atom(period: int, variable: str = "x") -> Atom:
+    """``(.{period})* x{a} .*``: capture an ``a`` at a period-aligned position."""
+    if period < 1:
+        raise ValueError(f"period must be at least 1, got {period}")
+    return Atom("(" + "." * period + f")*{variable}{{a}}.*")
+
+
+def join_heavy_expression(periods: tuple[int, ...] = (7, 11, 13, 17)) -> SpannerExpression:
+    """A multi-atom join whose fused automaton is exponentially large.
+
+    ``x ⋈``-joins one :func:`periodic_atom` per period: the output is an
+    ``a`` at a position aligned to *every* period simultaneously.  Each
+    atom is a small automaton (``period + 2`` states), but the fused
+    product of Proposition 4.4 must track the joint residue, so it has
+    ``Θ(∏ periods)`` states — with the default coprime periods, 17017
+    product states versus four atoms of at most 19 states.  This is the
+    regime of the paper's Proposition 4.2 lower bound, and the workload
+    the cost-based optimizer exists for: the hybrid plan evaluates the
+    four small automata and hash-joins their (selective) mapping sets at
+    runtime, never building the product.
+    """
+    if len(periods) < 2:
+        raise ValueError(f"need at least two periods, got {periods!r}")
+    expression: SpannerExpression = periodic_atom(periods[0])
+    for period in periods[1:]:
+        expression = expression.join(periodic_atom(period))
+    return expression
 
 
 def keyword_pair_pattern(first: str, second: str) -> str:

@@ -154,7 +154,7 @@ class TestScenarios:
         built = scenario(name, num_documents=2, scale=20, seed=1)
         assert built.num_documents == 2
         assert built.total_length > 0
-        spanner = Spanner.from_regex(built.pattern)
+        spanner = built.build_spanner()
         counts = counts_of(spanner.run_batch(built.collection))
         assert set(counts) == set(built.collection.ids())
 

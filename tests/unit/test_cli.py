@@ -129,3 +129,49 @@ class TestBatch:
 
     def test_batch_in_parser_help(self):
         assert "batch" in build_parser().format_help()
+
+
+class TestExplain:
+    def test_single_pattern_plan(self):
+        code, output = run_cli(["explain", "x{a+}b"])
+        assert code == 0
+        assert "logical plan:" in output
+        assert "execution plan: engine=" in output
+
+    def test_join_of_patterns_renders_hybrid_plan(self, document_path):
+        # Two wide joined atoms exceed the fuse threshold over the
+        # document's alphabet, so the plan shows runtime operators.
+        code, output = run_cli(
+            [
+                "explain",
+                r"(.*, )?name{[A-Za-z]+} <[a-z0-9@.\-]*>(, .*)?",
+                r"(.*<)email{[a-z]+@[a-z.]+}(>.*)?",
+                "--combine",
+                "join",
+                "--project",
+                "name,email",
+                "--document",
+                document_path,
+            ]
+        )
+        assert code == 0
+        assert "⋈" in output
+        assert "hash-join" in output
+        assert "engine=hybrid" in output
+
+    def test_union_combiner(self):
+        code, output = run_cli(["explain", "x{a}", "x{b}", "--combine", "union"])
+        assert code == 0
+        assert "∪" in output
+
+    def test_non_functional_join_reports_clear_error(self, capsys):
+        code, _output = run_cli(["explain", "x{a+}", "x{a+}(y{b})?"])
+        assert code == 2
+        assert "not functional" in capsys.readouterr().err
+
+    def test_unchecked_flag_skips_validation(self):
+        code, output = run_cli(
+            ["explain", "x{a+}", "x{a+}(y{b})?", "--unchecked"]
+        )
+        assert code == 0
+        assert "physical plan:" in output

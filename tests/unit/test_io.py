@@ -11,13 +11,15 @@ from repro.io.serialization import (
     SerializationError,
     eva_from_dict,
     eva_to_dict,
+    expression_from_dict,
+    expression_to_dict,
     load_automaton,
     mapping_to_dict,
     save_automaton,
     va_from_dict,
     va_to_dict,
 )
-from repro.workloads.spanners import figure2_va, figure3_eva
+from repro.workloads.spanners import contact_expression, figure2_va, figure3_eva
 
 
 class TestVaSerialization:
@@ -87,6 +89,53 @@ class TestFiles:
         path.write_text('{"kind": "mystery"}', encoding="utf-8")
         with pytest.raises(SerializationError):
             load_automaton(path)
+
+
+class TestExpressionSerialization:
+    def test_regex_atom_round_trip_is_exact(self):
+        from repro.algebra.expressions import Atom
+
+        atom = Atom("x{a+}(b|c)*")
+        rebuilt = expression_from_dict(expression_to_dict(atom))
+        assert rebuilt.source == atom.source
+
+    def test_full_tree_round_trip_preserves_semantics(self):
+        from repro.algebra.compile import evaluate_expression_setwise
+
+        expression = contact_expression()
+        payload = expression_to_dict(expression)
+        rebuilt = expression_from_dict(json.loads(json.dumps(payload)))
+        document = "John <j@g.be>"
+        assert evaluate_expression_setwise(
+            rebuilt, document
+        ) == evaluate_expression_setwise(expression, document)
+
+    def test_automaton_atoms_round_trip(self):
+        from repro.algebra.expressions import Atom
+
+        for source in (figure2_va(), figure3_eva()):
+            rebuilt = expression_from_dict(expression_to_dict(Atom(source)))
+            assert set(rebuilt.source.evaluate("ab")) == set(source.evaluate("ab"))
+
+    def test_operator_structure_survives(self):
+        from repro.algebra.expressions import Atom, Join, Projection, UnionExpr
+
+        expression = Projection(
+            Join(Atom("x{a}"), UnionExpr(Atom("y{b}"), Atom("y{a}"))), ["x", "y"]
+        )
+        rebuilt = expression_from_dict(expression_to_dict(expression))
+        assert isinstance(rebuilt, Projection)
+        assert rebuilt.keep == frozenset({"x", "y"})
+        assert isinstance(rebuilt.child, Join)
+        assert isinstance(rebuilt.child.right, UnionExpr)
+
+    def test_malformed_payloads_rejected(self):
+        with pytest.raises(SerializationError):
+            expression_from_dict({"kind": "automaton"})
+        with pytest.raises(SerializationError):
+            expression_from_dict({"kind": "expression", "op": "negate"})
+        with pytest.raises(SerializationError):
+            expression_to_dict("not an expression")
 
 
 class TestMappingSerialization:

@@ -1,0 +1,177 @@
+"""Unit tests for the logical plan layer and each rewrite rule."""
+
+import pytest
+
+from repro.core.errors import CompilationError
+from repro.algebra.expressions import Atom, Join, Projection, UnionExpr
+from repro.algebra.logical import (
+    LogicalAtom,
+    LogicalJoin,
+    LogicalProject,
+    LogicalUnion,
+    expression_from_logical,
+    logical_from_expression,
+    render_logical,
+)
+from repro.algebra.optimizer import (
+    estimate_fused_states,
+    flatten_operators,
+    push_projections,
+    reorder_joins,
+)
+
+
+def atoms(*patterns):
+    return tuple(Atom(pattern) for pattern in patterns)
+
+
+class TestConversions:
+    def test_round_trip_preserves_structure(self):
+        a, b, c = atoms("x{a}", "y{b}", "z{a+}")
+        expression = Projection(Join(UnionExpr(a, b), c), ["x", "z"])
+        logical = logical_from_expression(expression)
+        rebuilt = expression_from_logical(logical)
+        assert isinstance(rebuilt, Projection)
+        assert rebuilt.keep == frozenset({"x", "z"})
+        assert isinstance(rebuilt.child, Join)
+        assert isinstance(rebuilt.child.left, UnionExpr)
+        assert rebuilt.child.right is c
+
+    def test_variables_match_expression(self):
+        a, b = atoms("x{a}b", "y{b}")
+        expression = Projection(a.join(b), ["x"])
+        logical = logical_from_expression(expression)
+        assert logical.variables() == expression.variables() == frozenset({"x"})
+
+    def test_nary_nodes_fold_left_deep(self):
+        a, b, c = atoms("x{a}", "y{b}", "z{a}")
+        nary = LogicalJoin(
+            (LogicalAtom(a), LogicalAtom(b), LogicalAtom(c))
+        )
+        folded = expression_from_logical(nary)
+        assert isinstance(folded, Join)
+        assert isinstance(folded.left, Join)
+        assert folded.right is c
+
+    def test_invalid_nodes_rejected(self):
+        with pytest.raises(CompilationError):
+            LogicalAtom("not an atom")
+        with pytest.raises(CompilationError):
+            LogicalUnion((LogicalAtom(Atom("x{a}")),))
+
+    def test_render_logical_tree_shape(self):
+        a, b = atoms("x{a}", "y{b}")
+        text = render_logical(
+            LogicalProject(LogicalJoin((LogicalAtom(a), LogicalAtom(b))), ["x"])
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("π[x]")
+        assert any("⋈" in line for line in lines)
+        assert sum("atom[" in line for line in lines) == 2
+
+
+class TestFlattenOperators:
+    def test_nested_unions_become_nary(self):
+        a, b, c = atoms("x{a}", "x{b}", "x{a+}")
+        logical = logical_from_expression(UnionExpr(UnionExpr(a, b), c))
+        flat = flatten_operators(logical)
+        assert isinstance(flat, LogicalUnion)
+        assert len(flat.operands) == 3
+        assert all(isinstance(op, LogicalAtom) for op in flat.operands)
+
+    def test_nested_joins_become_nary(self):
+        a, b, c = atoms("x{a}", "y{b}", "z{a}")
+        logical = logical_from_expression(Join(a.join(b), c))
+        flat = flatten_operators(logical)
+        assert isinstance(flat, LogicalJoin)
+        assert len(flat.operands) == 3
+
+    def test_union_join_boundary_not_merged(self):
+        a, b, c = atoms("x{a}", "x{b}", "y{a}")
+        logical = logical_from_expression(Join(UnionExpr(a, b), c))
+        flat = flatten_operators(logical)
+        assert isinstance(flat, LogicalJoin)
+        assert len(flat.operands) == 2
+        assert isinstance(flat.operands[0], LogicalUnion)
+
+
+class TestPushProjections:
+    def test_adjacent_projections_merge(self):
+        (a,) = atoms("x{a}y{b}z{a}")
+        logical = logical_from_expression(
+            Projection(Projection(a, ["x", "y"]), ["y", "z"])
+        )
+        pushed = push_projections(logical)
+        assert isinstance(pushed, LogicalProject)
+        assert pushed.keep == frozenset({"y"})
+        assert isinstance(pushed.child, LogicalAtom)
+
+    def test_projection_distributes_over_union(self):
+        a, b = atoms("x{a}y{b}", "x{b}y{a}")
+        logical = logical_from_expression(Projection(UnionExpr(a, b), ["x"]))
+        pushed = push_projections(logical)
+        assert isinstance(pushed, LogicalUnion)
+        assert all(
+            isinstance(op, LogicalProject) and op.keep == frozenset({"x"})
+            for op in pushed.operands
+        )
+
+    def test_projection_pushes_through_join_keeping_shared(self):
+        left, right = atoms("x{a}y{b}", "y{b}z{a}")
+        logical = logical_from_expression(Projection(Join(left, right), ["x"]))
+        pushed = push_projections(logical)
+        # The outer projection must survive (y is shared but projected away)
+        assert isinstance(pushed, LogicalProject)
+        assert pushed.keep == frozenset({"x"})
+        join = pushed.child
+        assert isinstance(join, LogicalJoin)
+        # left keeps x (wanted) and y (shared); right keeps only y (shared)
+        assert join.operands[0].variables() == frozenset({"x", "y"})
+        assert isinstance(join.operands[1], LogicalProject)
+        assert join.operands[1].keep == frozenset({"y"})
+
+    def test_outer_projection_dropped_when_join_produces_exactly_keep(self):
+        left, right = atoms("x{a}", "y{b}")
+        logical = logical_from_expression(Projection(Join(left, right), ["x", "y"]))
+        pushed = push_projections(logical)
+        assert isinstance(pushed, LogicalJoin)
+
+    def test_trivial_projection_removed(self):
+        (a,) = atoms("x{a}")
+        pushed = push_projections(logical_from_expression(Projection(a, ["x"])))
+        assert isinstance(pushed, LogicalAtom)
+
+
+class TestReorderJoins:
+    def test_operands_sorted_by_estimate(self):
+        small, big = atoms("x{a}", "y{" + "a" * 20 + "}")
+        logical = flatten_operators(logical_from_expression(Join(big, small)))
+
+        def size_of(node):
+            return estimate_fused_states(node, lambda atom: atom.source_size())
+
+        ordered = reorder_joins(logical, size_of)
+        assert isinstance(ordered, LogicalJoin)
+        assert ordered.operands[0].atoms().__next__() is small
+
+    def test_stable_for_equal_estimates(self):
+        a, b = atoms("x{a}", "y{b}")
+        logical = flatten_operators(logical_from_expression(Join(a, b)))
+        ordered = reorder_joins(logical, lambda node: 1)
+        assert [next(op.atoms()) for op in ordered.operands] == [a, b]
+
+
+class TestEstimates:
+    def test_join_is_product_union_is_sum(self):
+        a, b = atoms("x{a}", "y{b}")
+        states = {id(a): 3, id(b): 5}
+
+        def atom_states(atom):
+            return states[id(atom)]
+
+        join = flatten_operators(logical_from_expression(Join(a, b)))
+        union = flatten_operators(logical_from_expression(UnionExpr(a, b)))
+        assert estimate_fused_states(join, atom_states) == 15
+        assert estimate_fused_states(union, atom_states) == 9
+        project = LogicalProject(join, ["x"])
+        assert estimate_fused_states(project, atom_states) == 15

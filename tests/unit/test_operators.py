@@ -1,0 +1,161 @@
+"""Unit tests for the physical arena operators (repro.runtime.operators)."""
+
+import pickle
+
+import pytest
+
+from repro.core.errors import EvaluationError
+from repro.core.mappings import Mapping
+from repro.core.spans import Span
+from repro.algebra.expressions import Atom
+from repro.runtime.operators import (
+    ArenaProject,
+    FusedLeaf,
+    HashJoin,
+    MergeUnion,
+    OperatorResult,
+    hash_join_mappings,
+    merge_union_mappings,
+    project_arena,
+    render_physical,
+)
+
+M = Mapping
+S = Span
+
+
+def leaf(pattern: str, alphabet="ab") -> FusedLeaf:
+    return FusedLeaf(Atom(pattern)).prepare(frozenset(alphabet))
+
+
+class TestMappingCombinators:
+    def test_hash_join_on_shared_variable(self):
+        left = [M({"x": S(0, 1), "y": S(1, 2)}), M({"x": S(2, 3)})]
+        right = [M({"x": S(0, 1), "z": S(3, 4)})]
+        assert hash_join_mappings(left, right) == [
+            M({"x": S(0, 1), "y": S(1, 2), "z": S(3, 4)})
+        ]
+
+    def test_hash_join_without_shared_variables_is_cross_product(self):
+        left = [M({"a": S(0, 1)}), M({"a": S(1, 2)})]
+        right = [M({"b": S(2, 3)})]
+        assert len(hash_join_mappings(left, right)) == 2
+
+    def test_hash_join_empty_side(self):
+        assert hash_join_mappings([], [M({"x": S(0, 1)})]) == []
+        assert hash_join_mappings([M({"x": S(0, 1)})], []) == []
+
+    def test_hash_join_deduplicates(self):
+        left = [M({"x": S(0, 1)}), M({"x": S(0, 1), "y": S(0, 1)})]
+        right = [M({"x": S(0, 1), "y": S(0, 1)})]
+        joined = hash_join_mappings(left, right)
+        assert joined == [M({"x": S(0, 1), "y": S(0, 1)})]
+
+    def test_hash_join_partial_mappings_compatible_via_absent_variable(self):
+        # The left mapping does not assign x, so it is compatible with both
+        # right mappings even though they disagree on x.
+        left = [M({"y": S(0, 1)})]
+        right = [M({"x": S(0, 1)}), M({"x": S(1, 2)})]
+        assert len(hash_join_mappings(left, right)) == 2
+
+    def test_merge_union_dedups_across_operands(self):
+        first = [M({"x": S(0, 1)}), M({"x": S(1, 2)})]
+        second = [M({"x": S(1, 2)}), M({"x": S(2, 3)})]
+        merged = merge_union_mappings([first, second])
+        assert merged == [M({"x": S(0, 1)}), M({"x": S(1, 2)}), M({"x": S(2, 3)})]
+
+
+class TestProjectArena:
+    def test_projection_on_arena_skips_dropped_spans(self):
+        result = leaf("x{a}y{b}").execute("ab")
+        projected = set(project_arena(result, {"x"}))
+        assert projected == {M({"x": S(0, 1)})}
+
+    def test_projection_to_empty_keep_yields_empty_mapping(self):
+        result = leaf("x{a}").execute("a")
+        assert set(project_arena(result, set())) == {M({})}
+
+    def test_projection_on_operator_result_restricts(self):
+        result = OperatorResult([M({"x": S(0, 1), "y": S(1, 2)})], 2)
+        assert set(project_arena(result, {"y"})) == {M({"y": S(1, 2)})}
+
+
+class TestOperatorResult:
+    def test_portable_round_trip(self):
+        result = OperatorResult(
+            [M({"x": S(0, 1)}), M({"x": S(1, 2), "y": S(0, 2)})], 5
+        )
+        rebuilt = OperatorResult.from_portable(result.to_portable())
+        assert list(rebuilt) == list(result)
+        assert rebuilt.document_length == 5
+        assert rebuilt.count() == 2
+        assert not rebuilt.is_empty()
+
+    def test_empty_result(self):
+        result = OperatorResult([], 3)
+        assert result.is_empty() and result.count() == 0
+
+
+class TestPhysicalTree:
+    def test_fused_leaf_requires_prepare(self):
+        unprepared = FusedLeaf(Atom("x{a}"))
+        with pytest.raises(EvaluationError):
+            unprepared.execute("a")
+
+    def test_prepare_is_idempotent_per_alphabet(self):
+        fused = FusedLeaf(Atom("x{a}"))
+        fused.prepare(frozenset("ab"))
+        runtime = fused.runtime
+        fused.prepare(frozenset("ab"))
+        assert fused.runtime is runtime
+        fused.prepare(frozenset("abc"))
+        assert fused.runtime is not runtime
+
+    def test_hash_join_executes_on_shared_variable(self):
+        join = HashJoin((leaf("x{a+}b*"), leaf("x{a+}y{b*}")))
+        got = set(join.execute("aab"))
+        assert got  # every x span must agree between the operands
+        assert all(mapping["x"] == mapping["x"] and "y" in mapping for mapping in got)
+
+    def test_hash_join_short_circuits_on_empty_operand(self):
+        class Exploding(FusedLeaf):
+            def execute(self, document):
+                raise AssertionError("short-circuit failed: operand executed")
+
+        empty = leaf("x{c}", alphabet="abc")  # never matches an "ab" document
+        join = HashJoin((empty, Exploding(Atom("y{a}"))))
+        assert join.execute("ab").is_empty()
+
+    def test_merge_union_combines_operands(self):
+        union = MergeUnion((leaf("x{a}b"), leaf("(a)x{b}")))
+        assert set(union.execute("ab")) == {M({"x": S(0, 1)}), M({"x": S(1, 2)})}
+
+    def test_arena_project_dedups(self):
+        project = ArenaProject(leaf("x{a}y{.}", alphabet="ab"), ["x"])
+        result = project.execute("ab")
+        assert list(result) == [M({"x": S(0, 1)})]
+
+    def test_operator_arity_validation(self):
+        with pytest.raises(EvaluationError):
+            HashJoin((leaf("x{a}"),))
+        with pytest.raises(EvaluationError):
+            MergeUnion((leaf("x{a}"),))
+
+    def test_prepared_tree_pickles_and_executes(self):
+        join = HashJoin((leaf("x{a+}b*"), leaf("x{a+}y{b*}")))
+        clone = pickle.loads(pickle.dumps(join))
+        assert set(clone.execute("aab")) == set(join.execute("aab"))
+
+    def test_render_physical_shows_engines_and_reasons(self):
+        join = HashJoin(
+            (leaf("x{a+}b*"), leaf("x{a+}y{b*}")), reason="testing render"
+        )
+        text = render_physical(join)
+        assert "hash-join (2-way)" in text
+        assert "testing render" in text
+        assert text.count("fused[") == 2
+
+    def test_leaves_iterates_left_to_right(self):
+        first, second = leaf("x{a}"), leaf("y{b}")
+        join = HashJoin((first, second))
+        assert list(join.leaves()) == [first, second]
