@@ -9,10 +9,13 @@ documents:
 * ``processes``  — the compiled runtime fanned out over a multiprocessing
   pool (the automaton is pickled once per worker).
 
-Two workloads are measured: the Census reduction of Theorem 5.2 (a large
+Three workloads are measured: the Census reduction of Theorem 5.2 (a large
 automaton over a small alphabet — the worst case for per-character dict
-walking) and the Figure 1 contact-extraction scenario (a small automaton
-over long natural documents).
+walking), the Figure 1 contact-extraction scenario (a small automaton over
+long natural documents), and the ``sparse-logs`` scenario (long documents,
+rare matches — the quiescent-run fast-path regime, for which an extra
+``compiled-nofast`` row runs the arena engine with the fast path disabled
+and ``speedup_fastpath_vs_nofast`` reports the sprint's contribution).
 
 Usage::
 
@@ -38,6 +41,10 @@ from repro.core.documents import DocumentCollection  # noqa: E402
 from repro.counting.census import CensusInstance  # noqa: E402
 from repro.runtime.batch import run_batch  # noqa: E402
 from repro.runtime.compiled import compile_eva  # noqa: E402
+from repro.runtime.engine import (  # noqa: E402
+    EvaluationScratch,
+    evaluate_compiled_arena,
+)
 from repro.spanners.spanner import Spanner  # noqa: E402
 from repro.workloads.collections import scenario  # noqa: E402
 from repro.workloads.spanners import random_census_nfa  # noqa: E402
@@ -65,6 +72,32 @@ def timed_batch(compiled, collection, *, repeat: int = 1, **kwargs) -> tuple[flo
     return best, total
 
 
+def timed_nofast(compiled, collection, *, repeat: int = 1) -> tuple[float, int]:
+    """Best seconds of the arena engine with the quiescent fast path off.
+
+    The pre-PR-shaped control for the sparse-logs workload: same dense
+    tables, same shared encoded buffers and scratch, but every character
+    walks the Python inner loop.
+    """
+    scratch = EvaluationScratch(compiled)
+    best = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        for _doc_id, document in collection.items():
+            evaluate_compiled_arena(
+                compiled, document, scratch=scratch, fast_path=False
+            )
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    total = sum(
+        evaluate_compiled_arena(
+            compiled, document, scratch=scratch, fast_path=False
+        ).count()
+        for _doc_id, document in collection.items()
+    )
+    return best, total
+
+
 def census_collection(num_documents: int, num_states: int, length: int):
     """The census workload: one det seVA, many copies of its document."""
     instance = CensusInstance(
@@ -78,8 +111,14 @@ def census_collection(num_documents: int, num_states: int, length: int):
     return compile_eva(deterministic, check_determinism=False), collection
 
 
-def bench_workload(name, compiled, collection, *, repeat, max_workers):
-    """Measure all three execution strategies on one workload."""
+def bench_workload(name, compiled, collection, *, repeat, max_workers, nofast=False):
+    """Measure all execution strategies on one workload.
+
+    *nofast* adds a ``compiled-nofast`` row (the arena engine with the
+    quiescent fast path disabled) and the ``speedup_fastpath_vs_nofast``
+    ratio — reported on the sparse-match workload where the sprint is the
+    headline change.
+    """
     total_chars = collection.total_length()
     rows = {}
 
@@ -104,17 +143,31 @@ def bench_workload(name, compiled, collection, *, repeat, max_workers):
             f"compiled={compiled_count}, processes={process_count}"
         )
 
-    for label, seconds in (
+    timed_rows = [
         ("reference", reference_seconds),
         ("compiled", compiled_seconds),
         ("processes", process_seconds),
-    ):
+    ]
+    if nofast:
+        nofast_seconds, nofast_count = timed_nofast(
+            compiled, collection, repeat=repeat
+        )
+        if nofast_count != compiled_count:
+            raise AssertionError(
+                f"{name}: fast path changed the result — "
+                f"fast={compiled_count}, nofast={nofast_count}"
+            )
+        timed_rows.append(("compiled-nofast", nofast_seconds))
+
+    for label, seconds in timed_rows:
         rows[label] = {
             "seconds": seconds,
             "chars_per_second": total_chars / seconds if seconds else float("inf"),
         }
     rows["speedup_compiled_vs_reference"] = reference_seconds / compiled_seconds
     rows["speedup_processes_vs_serial"] = compiled_seconds / process_seconds
+    if nofast:
+        rows["speedup_fastpath_vs_nofast"] = nofast_seconds / compiled_seconds
     return {
         "workload": name,
         "documents": len(collection),
@@ -130,14 +183,20 @@ def print_report(entry) -> None:
         f"\n### {entry['workload']}: {entry['documents']} documents, "
         f"{entry['total_chars']} chars, {entry['mappings']} mappings"
     )
-    print(f"{'strategy':<12} {'seconds':>10} {'chars/s':>14}")
-    for label in ("reference", "compiled", "processes"):
-        row = rows[label]
-        print(f"{label:<12} {row['seconds']:>10.4f} {row['chars_per_second']:>14.0f}")
-    print(
+    print(f"{'strategy':<16} {'seconds':>10} {'chars/s':>14}")
+    for label, row in rows.items():
+        if isinstance(row, dict):
+            print(
+                f"{label:<16} {row['seconds']:>10.4f} "
+                f"{row['chars_per_second']:>14.0f}"
+            )
+    line = (
         f"compiled vs reference: {rows['speedup_compiled_vs_reference']:.2f}x   "
         f"processes vs serial: {rows['speedup_processes_vs_serial']:.2f}x"
     )
+    if "speedup_fastpath_vs_nofast" in rows:
+        line += f"   fast path vs nofast: {rows['speedup_fastpath_vs_nofast']:.2f}x"
+    print(line)
 
 
 def main(argv=None) -> int:
@@ -158,10 +217,12 @@ def main(argv=None) -> int:
     if args.smoke:
         census_args = dict(num_documents=4, num_states=5, length=5)
         contact_args = dict(num_documents=4, scale=60)
+        sparse_args = dict(num_documents=3, scale=1500)
         repeat = 2
     else:
         census_args = dict(num_documents=16, num_states=6, length=9)
         contact_args = dict(num_documents=16, scale=400)
+        sparse_args = dict(num_documents=8, scale=2000)
         repeat = 3
 
     report = {
@@ -194,6 +255,24 @@ def main(argv=None) -> int:
         contacts.collection,
         repeat=repeat,
         max_workers=args.max_workers,
+    )
+    report["workloads"].append(entry)
+    print_report(entry)
+
+    sparse = scenario(
+        "sparse-logs",
+        num_documents=sparse_args["num_documents"],
+        scale=sparse_args["scale"],
+    )
+    spanner = Spanner.from_regex(sparse.pattern)
+    compiled = spanner.runtime("".join(doc.text for doc in sparse.collection))
+    entry = bench_workload(
+        "sparse-logs",
+        compiled,
+        sparse.collection,
+        repeat=repeat,
+        max_workers=args.max_workers,
+        nofast=True,
     )
     report["workloads"].append(entry)
     print_report(entry)

@@ -47,6 +47,17 @@ def test_census_via_spanner_reduction(benchmark, length):
     assert count == instance.solve_directly()
 
 
+@pytest.mark.parametrize("length", [4, 6])
+def test_census_via_compiled_spanner_reduction(benchmark, length):
+    # The compiled integer Algorithm 3 on class-indexed tables, counting
+    # several passes through one reusable EvaluationScratch — the
+    # steady-state batch-counting shape.
+    instance = make_instance(5, length)
+    count = benchmark(lambda: instance.solve_via_compiled_spanner(repeat=4))
+    benchmark.extra_info["count"] = count
+    assert count == instance.solve_directly()
+
+
 @pytest.mark.parametrize("num_states", [3, 5, 7])
 def test_census_reduction_construction_cost(benchmark, num_states):
     instance = make_instance(num_states, 5)

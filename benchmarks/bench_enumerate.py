@@ -18,7 +18,11 @@ samples plus the mean per-mapping delay, and the ratio
 
 Two workloads bracket the enumeration regimes: the output-heavy nested
 capture formula (``Θ(n⁴)`` mappings per document) and the Figure 1 contact
-extraction (few mappings over long documents).
+extraction (few mappings over long documents).  A third entry
+(``sparse-logs-preprocessing``) times the *preprocessing* phase itself on
+the sparse-match log workload — the regime the quiescent-run fast path
+targets — comparing the reference engine, the arena engine, and the arena
+engine with the fast path disabled.
 
 Usage::
 
@@ -37,16 +41,25 @@ import argparse
 import json
 import os
 import sys
+import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro.core.documents import Document  # noqa: E402
 from repro.enumeration.enumerate import delay_profile  # noqa: E402
 from repro.enumeration.evaluate import evaluate as reference_evaluate  # noqa: E402
 from repro.runtime.compiled import compile_eva  # noqa: E402
-from repro.runtime.engine import evaluate_compiled_arena  # noqa: E402
+from repro.runtime.engine import (  # noqa: E402
+    EvaluationScratch,
+    evaluate_compiled_arena,
+)
 from repro.spanners.spanner import Spanner  # noqa: E402
 from repro.workloads.collections import NESTED_PATTERN  # noqa: E402
-from repro.workloads.documents import contact_document, random_document  # noqa: E402
+from repro.workloads.documents import (  # noqa: E402
+    contact_document,
+    random_document,
+    server_log,
+)
 from repro.workloads.spanners import contact_pattern  # noqa: E402
 
 
@@ -119,6 +132,95 @@ def bench_workload(name: str, pattern: str, text: str, *, limit: int, repeat: in
     }
 
 
+def bench_preprocessing(name: str, pattern: str, text: str, *, repeat: int) -> dict:
+    """Time the preprocessing phase (Algorithm 1) on one (pattern, document).
+
+    Three paths: the reference dict engine, the arena engine, and the arena
+    engine with the quiescent-run fast path disabled — the control showing
+    what the sprint itself buys on sparse-match documents.  The document is
+    a :class:`Document`, so the arena paths share one cached encoding.
+    """
+    spanner = Spanner.from_regex(pattern)
+    automaton = spanner.compiled(text)
+    compiled = compile_eva(automaton, check_determinism=False)
+    scratch = EvaluationScratch(compiled)
+    document = Document(text)
+
+    def best_seconds(run) -> float:
+        best = None
+        for _ in range(repeat):
+            start = time.perf_counter()
+            run()
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        return best
+
+    counts = {
+        "reference": reference_evaluate(
+            automaton, text, check_determinism=False
+        ).count(),
+        "arena": evaluate_compiled_arena(compiled, document, scratch=scratch).count(),
+        "arena-nofast": evaluate_compiled_arena(
+            compiled, document, scratch=scratch, fast_path=False
+        ).count(),
+    }
+    if len(set(counts.values())) != 1:
+        raise AssertionError(f"{name}: paths disagree — {counts}")
+
+    rows = {
+        "reference": {
+            "seconds": best_seconds(
+                lambda: reference_evaluate(automaton, text, check_determinism=False)
+            )
+        },
+        "arena": {
+            "seconds": best_seconds(
+                lambda: evaluate_compiled_arena(compiled, document, scratch=scratch)
+            )
+        },
+        "arena-nofast": {
+            "seconds": best_seconds(
+                lambda: evaluate_compiled_arena(
+                    compiled, document, scratch=scratch, fast_path=False
+                )
+            )
+        },
+    }
+    arena_seconds = rows["arena"]["seconds"]
+    rows["speedup_arena_vs_reference"] = (
+        rows["reference"]["seconds"] / arena_seconds if arena_seconds else float("inf")
+    )
+    rows["speedup_fastpath_vs_nofast"] = (
+        rows["arena-nofast"]["seconds"] / arena_seconds
+        if arena_seconds
+        else float("inf")
+    )
+    return {
+        "workload": name,
+        "documents": 1,
+        "total_chars": len(text),
+        "mappings": counts["arena"],
+        "results": rows,
+    }
+
+
+def print_preprocessing_report(entry: dict) -> None:
+    rows = entry["results"]
+    print(
+        f"\n### {entry['workload']}: {entry['total_chars']} chars, "
+        f"{entry['mappings']} mappings (preprocessing time)"
+    )
+    print(f"{'path':<14} {'seconds':>10} {'chars/s':>14}")
+    for label in ("reference", "arena", "arena-nofast"):
+        seconds = rows[label]["seconds"]
+        rate = entry["total_chars"] / seconds if seconds else float("inf")
+        print(f"{label:<14} {seconds:>10.4f} {rate:>14.0f}")
+    print(
+        f"arena vs reference: {rows['speedup_arena_vs_reference']:.2f}x   "
+        f"fast path vs nofast: {rows['speedup_fastpath_vs_nofast']:.2f}x"
+    )
+
+
 def print_report(entry: dict) -> None:
     rows = entry["results"]
     print(
@@ -150,8 +252,10 @@ def main(argv=None) -> int:
 
     if args.smoke:
         nested_length, contact_records, limit, repeat = 30, 40, 4000, 3
+        sparse_lines = 2500
     else:
         nested_length, contact_records, limit, repeat = 60, 150, 20000, 5
+        sparse_lines = 4000
 
     report = {"smoke": args.smoke, "cpu_count": os.cpu_count(), "workloads": []}
 
@@ -174,6 +278,17 @@ def main(argv=None) -> int:
     )
     report["workloads"].append(entry)
     print_report(entry)
+
+    entry = bench_preprocessing(
+        "sparse-logs-preprocessing",
+        r".*ERROR worker-w{[0-9]} .*",
+        server_log(
+            sparse_lines, seed=17, error_rate=0.005, levels=("INFO", "WARN")
+        ).text,
+        repeat=repeat,
+    )
+    report["workloads"].append(entry)
+    print_preprocessing_report(entry)
 
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)

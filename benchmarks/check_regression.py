@@ -11,10 +11,13 @@ are not gated): a current ratio may not fall below
 ``baseline / tolerance``, i.e. with the default ``--tolerance 1.5`` a
 >1.5x slowdown of a compiled path relative to its in-run reference fails.
 
-``--min-speedup key=value`` additionally enforces an absolute floor — the
-acceptance criterion that arena enumeration stays at least 1.5x faster per
-mapping than the reference walker is pinned with
-``--min-speedup speedup_arena_vs_reference=1.5``.
+``--min-speedup key=value`` additionally enforces an absolute floor on
+*any* ratio metric a workload's results carry (not only the
+``_vs_reference`` ones) — the acceptance criterion that arena enumeration
+stays at least 1.5x faster per mapping than the reference walker is pinned
+with ``--min-speedup speedup_arena_vs_reference=1.5``, and the
+quiescent-run fast path's contribution with
+``--min-speedup speedup_fastpath_vs_nofast=2.0``.
 
 Usage::
 
@@ -90,6 +93,7 @@ def main(argv=None) -> int:
 
     failures: list[str] = []
     checked = 0
+    floors_applied = {key: 0 for key in floors}
     for name, base_entry in baseline.items():
         cur_entry = current.get(name)
         if cur_entry is None:
@@ -115,9 +119,13 @@ def main(argv=None) -> int:
                     f"vs the baseline {base_value:.2f}x"
                 )
         for key, floor in floors.items():
-            cur_value = cur_ratios.get(key)
-            if cur_value is None:
+            # Floors apply to any numeric ratio in the results, including
+            # in-run controls like speedup_fastpath_vs_nofast that the
+            # tolerance gate deliberately ignores.
+            cur_value = cur_entry.get("results", {}).get(key)
+            if not isinstance(cur_value, (int, float)):
                 continue
+            floors_applied[key] += 1
             checked += 1
             status = "ok" if cur_value >= floor else "FAIL"
             print(f"{name}.{key}: current={cur_value:.2f}x (floor {floor:.2f}x) {status}")
@@ -125,6 +133,16 @@ def main(argv=None) -> int:
                 failures.append(
                     f"{name}.{key}: {cur_value:.2f}x is below the absolute floor {floor:.2f}x"
                 )
+
+    # A floor that matched no workload at all is a disabled gate, not a
+    # pass: a renamed (or typo'd) metric must fail loudly, or the floor
+    # silently stops protecting the acceptance criterion it pins.
+    for key, applied in floors_applied.items():
+        if applied == 0:
+            failures.append(
+                f"--min-speedup {key}: no workload in the report carries this "
+                "metric — renamed, typo'd, or no longer emitted?"
+            )
 
     if not checked:
         failures.append("no ratio metrics were compared — wrong report files?")

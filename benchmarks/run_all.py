@@ -1,0 +1,186 @@
+"""Run the benchmark suite, gate it, and emit the BENCH_4.json snapshot.
+
+One entry point for everything CI (and a developer refreshing baselines)
+needs:
+
+1. run the three report-producing benchmarks (``bench_batch.py``,
+   ``bench_enumerate.py``, ``bench_algebra.py``), in smoke mode by default;
+2. gate every report against its committed baseline with
+   ``check_regression.py`` (ratio tolerance plus the absolute floors the
+   acceptance criteria pin);
+3. write a consolidated perf-trajectory snapshot — ``BENCH_4.json`` at the
+   repository root — containing only the machine-portable ratio metrics of
+   every workload, so the repo history carries one comparable perf number
+   set per PR.
+
+Usage::
+
+    python benchmarks/run_all.py [--full] [--skip-gates] [--output BENCH_4.json]
+
+``--full`` runs the full-size workloads instead of the CI smokes (and
+skips the gates: the committed baselines are smoke-sized, so comparing
+full-size ratios against them would be meaningless); ``--skip-gates``
+produces reports and the snapshot without failing on regressions
+(baseline refresh workflow).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(BENCH_DIR)
+
+#: (script, report file, baseline file, extra check_regression arguments)
+SUITE = [
+    (
+        "bench_batch.py",
+        "batch_report.json",
+        os.path.join("baselines", "batch_smoke.json"),
+        # The sparse-logs acceptance criterion: the quiescent fast path must
+        # keep a >=2x edge over the same engine with the sprint disabled.
+        ["--min-speedup", "speedup_fastpath_vs_nofast=2.0"],
+    ),
+    (
+        "bench_enumerate.py",
+        "enumerate_report.json",
+        os.path.join("baselines", "enumerate_smoke.json"),
+        # Floor 1.3 is a safety net against the arena regressing toward
+        # parity; the >=1.5x acceptance evidence is the committed baseline
+        # (and any quiet machine), while shared runners get jitter headroom.
+        # The sparse-logs-preprocessing entry additionally carries the
+        # fast-path floor, mirroring the batch gate.
+        [
+            "--min-speedup",
+            "speedup_arena_vs_reference=1.3",
+            "--min-speedup",
+            "speedup_fastpath_vs_nofast=2.0",
+        ],
+    ),
+    (
+        "bench_algebra.py",
+        "algebra_report.json",
+        os.path.join("baselines", "algebra_smoke.json"),
+        [],
+    ),
+]
+
+
+def run(command: list[str]) -> int:
+    print("+", " ".join(command), flush=True)
+    return subprocess.call(command, cwd=REPO_ROOT)
+
+
+def ratio_summary(report_path: str) -> dict:
+    """The machine-portable ratio metrics of one report, by workload."""
+    with open(report_path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    summary = {}
+    for entry in report.get("workloads", []):
+        ratios = {
+            key: round(value, 3)
+            for key, value in entry.get("results", {}).items()
+            if key.startswith("speedup_")
+            and isinstance(value, (int, float))
+            # speedup_processes_vs_serial depends on cpu_count and
+            # pool-spawn cost; committing it would churn the trajectory
+            # file with machine noise on every refresh.
+            and key != "speedup_processes_vs_serial"
+        }
+        summary[entry["workload"]] = {
+            "documents": entry.get("documents"),
+            "total_chars": entry.get("total_chars"),
+            "mappings": entry.get("mappings"),
+            **ratios,
+        }
+    return summary
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--full", action="store_true", help="full-size workloads (default: smoke)"
+    )
+    parser.add_argument(
+        "--skip-gates",
+        action="store_true",
+        help="produce reports and the snapshot without failing on regressions",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="path of the consolidated snapshot (default: BENCH_4.json at the "
+        "repo root for smoke runs, BENCH_4_full.json for --full so a local "
+        "full-size run never overwrites the committed smoke trajectory)",
+    )
+    args = parser.parse_args(argv)
+    if args.output is None:
+        name = "BENCH_4_full.json" if args.full else "BENCH_4.json"
+        args.output = os.path.join(REPO_ROOT, name)
+
+    mode_args = [] if args.full else ["--smoke"]
+    # The committed baselines are smoke-sized; full-size ratios are
+    # scale-dependent (same workload names, different instances), so
+    # gating them against the smoke baselines would be meaningless.
+    skip_gates = args.skip_gates or args.full
+    if args.full and not args.skip_gates:
+        print("note: --full skips the regression gates (baselines are smoke-sized)")
+    failures: list[str] = []
+    snapshot = {
+        "pr": 4,
+        "smoke": not args.full,
+        "cpu_count": os.cpu_count(),
+        "benchmarks": {},
+    }
+
+    for script, report_name, baseline, extra in SUITE:
+        report_path = os.path.join(BENCH_DIR, report_name)
+        code = run(
+            [sys.executable, os.path.join(BENCH_DIR, script)]
+            + mode_args
+            + ["--output", report_path]
+        )
+        if code != 0:
+            failures.append(f"{script} exited with {code}")
+            continue
+        snapshot["benchmarks"][script.removeprefix("bench_").removesuffix(".py")] = (
+            ratio_summary(report_path)
+        )
+        if skip_gates:
+            continue
+        code = run(
+            [
+                sys.executable,
+                os.path.join(BENCH_DIR, "check_regression.py"),
+                "--baseline",
+                os.path.join(BENCH_DIR, baseline),
+                "--current",
+                report_path,
+                "--tolerance",
+                "1.5",
+            ]
+            + extra
+        )
+        if code != 0:
+            failures.append(f"regression gate failed for {report_name}")
+
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2)
+        handle.write("\n")
+    print(f"\nperf-trajectory snapshot written to {args.output}")
+
+    if failures:
+        print("\nbenchmark suite FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("benchmark suite passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -39,13 +39,21 @@ class Document:
     'John'
     """
 
-    __slots__ = ("_text", "_name")
+    __slots__ = ("_text", "_name", "_encodings")
+
+    #: How many per-signature encodings one document retains (see
+    #: :meth:`store_encoding`); evaluating the same document under more
+    #: distinct alphabet classings than this evicts the least recently
+    #: used entry.  Sized for a hybrid plan with several distinctly
+    #: classed fused leaves over one document.
+    MAX_CACHED_ENCODINGS = 8
 
     def __init__(self, text: str, name: str | None = None) -> None:
         if not isinstance(text, str):
             raise TypeError(f"document text must be a string, got {text!r}")
         self._text = text
         self._name = name
+        self._encodings: dict | None = None
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -108,6 +116,60 @@ class Document:
             yield Span(start, start + len(needle))
             start = self._text.find(needle, start + 1)
 
+    # ------------------------------------------------------------------ #
+    # Encoded-form cache (filled by repro.runtime.encoding)
+    # ------------------------------------------------------------------ #
+    #
+    # The compiled engines translate a document into a flat class-id buffer
+    # before evaluating it (one C-level pass, see
+    # :mod:`repro.runtime.encoding`).  That buffer depends only on the text
+    # and the automaton's alphabet-classing *signature*, so the document
+    # itself is the natural cache: repeated ``enumerate``/``count`` calls,
+    # every fused leaf of a hybrid plan and every batch engine invocation
+    # reuse one pass per signature.  The keys are opaque hashables — this
+    # module knows nothing about the runtime layer.
+
+    def cached_encoding(self, signature: object):
+        """The cached encoded form for *signature*, or ``None``.
+
+        A hit refreshes the entry's recency, so a plan cycling through
+        several signatures keeps its working set alive (LRU, not FIFO).
+        """
+        encodings = self._encodings
+        if encodings is None:
+            return None
+        encoded = encodings.get(signature)
+        if encoded is not None:
+            encodings[signature] = encodings.pop(signature)
+        return encoded
+
+    def store_encoding(self, signature: object, encoded: object) -> None:
+        """Cache *encoded* under *signature* (LRU-bounded per document)."""
+        encodings = self._encodings
+        if encodings is None:
+            encodings = self._encodings = {}
+        elif (
+            signature not in encodings
+            and len(encodings) >= self.MAX_CACHED_ENCODINGS
+        ):
+            encodings.pop(next(iter(encodings)))
+        encodings[signature] = encoded
+
+    def cached_encodings(self) -> int:
+        """How many encoded forms this document currently caches."""
+        return 0 if self._encodings is None else len(self._encodings)
+
+    # The cache never crosses a process boundary: workers rebuild encodings
+    # against their own compiled automata, and shipping buffers would bloat
+    # every pickled chunk of the batch engine.
+
+    def __getstate__(self) -> tuple[str, str | None]:
+        return (self._text, self._name)
+
+    def __setstate__(self, state: tuple[str, str | None]) -> None:
+        self._text, self._name = state
+        self._encodings = None
+
     def lines(self) -> Iterator[tuple[Span, str]]:
         """Yield ``(span, line)`` pairs, one per line (newline excluded)."""
         begin = 0
@@ -157,7 +219,7 @@ class DocumentCollection:
     ['doc-0', 'doc-1']
     """
 
-    __slots__ = ("_documents", "_name")
+    __slots__ = ("_documents", "_name", "_alphabet")
 
     def __init__(
         self,
@@ -166,6 +228,7 @@ class DocumentCollection:
     ) -> None:
         self._documents: dict[object, Document] = {}
         self._name = name
+        self._alphabet: frozenset[str] | None = None
         if isinstance(documents, dict):
             for doc_id, document in documents.items():
                 self.add(document, doc_id=doc_id)
@@ -237,6 +300,7 @@ class DocumentCollection:
         if doc_id in self._documents:
             raise ValueError(f"duplicate document id {doc_id!r} in collection")
         self._documents[doc_id] = document
+        self._alphabet = None
         return doc_id
 
     # ------------------------------------------------------------------ #
@@ -272,11 +336,35 @@ class DocumentCollection:
             raise KeyError(f"no document with id {doc_id!r} in collection") from None
 
     def alphabet(self) -> frozenset[str]:
-        """The union of the documents' alphabets."""
-        found: set[str] = set()
+        """The union of the documents' alphabets (memoized until mutation).
+
+        Batch evaluation derives its compilation key — and therefore the
+        alphabet-classing signature every document is encoded under — from
+        this set, so it is computed once per collection state, not once per
+        ``run_batch`` call.
+        """
+        if self._alphabet is None:
+            found: set[str] = set()
+            for document in self._documents.values():
+                found.update(document.text)
+            self._alphabet = frozenset(found)
+        return self._alphabet
+
+    def encode_all(self, classing) -> int:
+        """Pre-encode every document under *classing*, returning the count
+        of fresh passes.
+
+        Each member document caches its buffer on itself (see
+        :meth:`Document.store_encoding`), so a document appearing several
+        times in the collection — or evaluated again later under the same
+        signature — is translated exactly once.
+        """
+        fresh = 0
         for document in self._documents.values():
-            found.update(document.text)
-        return frozenset(found)
+            if document.cached_encoding(classing.signature) is None:
+                fresh += 1
+            classing.encode(document)
+        return fresh
 
     def total_length(self) -> int:
         """The summed length of all documents (batch throughput denominator)."""

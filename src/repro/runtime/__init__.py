@@ -14,6 +14,11 @@ reference implementation, organised around the
   evaluate without an up-front determinization;
 * :func:`count_compiled` / :func:`count_subset` are the integer rewrites of
   Algorithm 3;
+* :mod:`repro.runtime.encoding` translates documents once per
+  alphabet-classing signature into cached class-id buffers
+  (:class:`SymbolClassing` / :class:`EncodedDocument`) consumed by every
+  engine above — together with the quiescent-run fast path, the layer that
+  drives the per-character constant toward C speed;
 * :func:`choose_plan` picks the engine from automaton statistics, and
   :func:`run_batch` streams many documents through one compiled automaton,
   serially or across processes;
@@ -25,6 +30,12 @@ reference implementation, organised around the
 from repro.runtime.batch import freeze_result, run_batch, thaw_result
 from repro.runtime.compiled import CompiledEVA, compile_eva
 from repro.runtime.dag import CompiledResultDag
+from repro.runtime.encoding import (
+    EncodedDocument,
+    SymbolClassing,
+    encoding_passes,
+    reset_encoding_passes,
+)
 from repro.runtime.engine import (
     EvaluationScratch,
     count_compiled,
@@ -49,6 +60,7 @@ __all__ = [
     "CompiledResultDag",
     "CompiledSubsetEVA",
     "ENGINE_CHOICES",
+    "EncodedDocument",
     "EvaluationScratch",
     "ExecutionPlan",
     "FusedLeaf",
@@ -56,15 +68,18 @@ __all__ = [
     "MergeUnion",
     "OperatorResult",
     "PhysicalOperator",
+    "SymbolClassing",
     "choose_plan",
     "compile_eva",
     "count_compiled",
     "count_subset",
+    "encoding_passes",
     "evaluate_compiled",
     "evaluate_compiled_arena",
     "evaluate_subset_arena",
     "freeze_result",
     "render_physical",
+    "reset_encoding_passes",
     "run_batch",
     "thaw_result",
 ]

@@ -21,6 +21,13 @@ Two execution modes are supported:
     compiled automaton; legacy object DAGs from the reference engine are
     interned into an arena first.
 
+In both modes the :class:`~repro.core.documents.Document` objects flow
+down to the engines unconverted, so the per-document encoded-buffer cache
+(:mod:`repro.runtime.encoding`) is hit whenever one document appears
+several times in a collection, or is evaluated again by another engine
+with the same alphabet classing (a document's encoding cache is dropped at
+the pickling boundary — each worker encodes against its own tables).
+
 Four engines are available in both modes: ``engine="compiled"`` (the
 arena-building integer runtime over a :class:`CompiledEVA`),
 ``engine="compiled-otf"`` (the lazily determinized subset runtime over a
@@ -38,7 +45,7 @@ from __future__ import annotations
 import multiprocessing
 from typing import Iterable, Iterator
 
-from repro.core.documents import DocumentCollection, as_text
+from repro.core.documents import DocumentCollection
 from repro.enumeration.evaluate import ResultDag, evaluate as reference_evaluate
 from repro.runtime.compiled import CompiledEVA
 from repro.runtime.dag import CompiledResultDag
@@ -110,22 +117,22 @@ def _init_worker(compiled, engine: str) -> None:
     _worker_engine = engine
 
 
-def _evaluate_one(compiled, text: str, engine: str, scratch):
+def _evaluate_one(compiled, document: object, engine: str, scratch):
     if engine == "hybrid":
-        return compiled.execute(text)
+        return compiled.execute(document)
     if engine == "reference":
-        return reference_evaluate(compiled.source, text, check_determinism=False)
+        return reference_evaluate(compiled.source, document, check_determinism=False)
     if engine == "compiled-otf":
-        return evaluate_subset_arena(compiled, text)
-    return evaluate_compiled_arena(compiled, text, scratch=scratch)
+        return evaluate_subset_arena(compiled, document)
+    return evaluate_compiled_arena(compiled, document, scratch=scratch)
 
 
-def _process_chunk(chunk: list[tuple[object, str]]) -> list[tuple[object, tuple]]:
+def _process_chunk(chunk: list[tuple[object, object]]) -> list[tuple[object, tuple]]:
     compiled = _worker_compiled
     assert compiled is not None, "worker pool used before initialization"
     out = []
-    for doc_id, text in chunk:
-        result = _evaluate_one(compiled, text, _worker_engine, _worker_scratch)
+    for doc_id, document in chunk:
+        result = _evaluate_one(compiled, document, _worker_engine, _worker_scratch)
         out.append((doc_id, freeze_result(result, compiled)))
     return out
 
@@ -135,14 +142,18 @@ def _process_chunk(chunk: list[tuple[object, str]]) -> list[tuple[object, tuple]
 # ---------------------------------------------------------------------- #
 
 
-def _pairs_of(collection: DocumentCollection) -> Iterator[tuple[object, str]]:
-    """Yield ``(doc_id, text)`` pairs of a collection."""
-    for doc_id, document in collection.items():
-        yield doc_id, as_text(document)
+def _pairs_of(collection: DocumentCollection) -> Iterator[tuple[object, object]]:
+    """Yield ``(doc_id, document)`` pairs of a collection.
+
+    Documents are passed through as objects (not flattened to ``str``) so
+    that the engines' per-document encoding cache can be shared: a document
+    appearing twice in the collection is translated once.
+    """
+    yield from collection.items()
 
 
-def _chunked(pairs: Iterator[tuple[object, str]], size: int) -> Iterator[list]:
-    chunk: list[tuple[object, str]] = []
+def _chunked(pairs: Iterator[tuple[object, object]], size: int) -> Iterator[list]:
+    chunk: list[tuple[object, object]] = []
     for pair in pairs:
         chunk.append(pair)
         if len(chunk) >= size:
@@ -236,8 +247,8 @@ def _stream_batch(
         scratch = (
             EvaluationScratch(compiled) if isinstance(compiled, CompiledEVA) else None
         )
-        for doc_id, text in pairs:
-            yield doc_id, _evaluate_one(compiled, text, engine, scratch)
+        for doc_id, document in pairs:
+            yield doc_id, _evaluate_one(compiled, document, engine, scratch)
         return
 
     context = multiprocessing.get_context()

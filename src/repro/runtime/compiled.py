@@ -22,13 +22,22 @@ the multiprocessing batch engine in :mod:`repro.runtime.batch`.
 
 from __future__ import annotations
 
+import re
 from typing import Hashable
 
 from repro.core.errors import CompilationError, NotDeterministicError
 from repro.automata.eva import ExtendedVA
 from repro.automata.markers import MarkerSet
+from repro.runtime.encoding import SymbolClassing
 
-__all__ = ["CompiledEVA", "compile_eva", "encode_symbols", "marker_decode_tables_for"]
+__all__ = [
+    "CompiledEVA",
+    "compile_eva",
+    "classify_columns",
+    "encode_symbols",
+    "marker_decode_tables_for",
+    "store_stop_pattern",
+]
 
 State = Hashable
 
@@ -55,9 +64,61 @@ def encode_symbols(symbol_index: dict[str, int], text: str) -> list[int]:
     A character outside the compiled alphabet can never be consumed by any
     letter transition, so the engines treat ``-1`` as "every live run dies
     here".
+
+    .. deprecated-in-practice:: the engines no longer call this — they
+       consume the cached, C-level class-id buffers of
+       :mod:`repro.runtime.encoding` instead.  Kept for introspection and
+       backward compatibility; new engines should not call it (see
+       CONTRIBUTING).
     """
     get = symbol_index.get
     return [get(character, NO_TARGET) for character in text]
+
+
+#: Upper bound on cached sprint patterns per runtime — a backstop against
+#: pathological automata whose evaluations visit unboundedly many distinct
+#: quiescent state sets; past the cap, patterns are compiled per use.
+SPRINT_PATTERN_CACHE_CAP = 4096
+
+
+def store_stop_pattern(cache: dict, key, stop_ids) -> "re.Pattern":
+    """Compile the byte-class pattern matching any of *stop_ids*, caching it.
+
+    Shared by every compiled runtime's ``sprint_pattern`` variants: the
+    caller enumerates the class ids on which its live state (or state set)
+    stops self-looping, and receives a compiled ``bytes`` character-class
+    pattern whose ``search`` is the C-level quiescent skip.  The pattern is
+    stored in *cache* under *key* unless the cache has reached
+    :data:`SPRINT_PATTERN_CACHE_CAP`.
+    """
+    stops = b"".join(
+        re.escape(bytes((class_id,))) for class_id in sorted(set(stop_ids))
+    )
+    pattern = re.compile(b"[" + stops + b"]")
+    if len(cache) < SPRINT_PATTERN_CACHE_CAP:
+        cache[key] = pattern
+    return pattern
+
+
+def classify_columns(columns) -> tuple[list[int], list]:
+    """Group identical *columns* into equivalence classes.
+
+    Returns ``(class_of, representatives)``: the class id of each column in
+    input order, and one representative column per class id.  Used by both
+    compiled runtimes to collapse alphabet symbols with identical transition
+    behaviour into one character class.
+    """
+    class_of: list[int] = []
+    index: dict = {}
+    representatives: list = []
+    for column in columns:
+        class_id = index.get(column)
+        if class_id is None:
+            class_id = len(representatives)
+            index[column] = class_id
+            representatives.append(column)
+        class_of.append(class_id)
+    return class_of, representatives
 
 
 class CompiledEVA:
@@ -82,7 +143,11 @@ class CompiledEVA:
         "marker_set_index",
         "variable_table",
         "source",
+        "classing",
+        "class_table",
+        "silent",
         "_marker_decode",
+        "_sprint_patterns",
     )
 
     def __init__(
@@ -114,6 +179,22 @@ class CompiledEVA:
         self.source = source
         self._marker_decode: tuple[tuple, tuple] | None = None
 
+        # Derived (never pickled): symbol equivalence classes, the
+        # class-indexed dense rows with a trailing all-dead foreign column,
+        # the per-state "no variable transition" flags driving the
+        # quiescent-run fast path, and the lazily built sprint patterns.
+        columns = tuple(zip(*letter_table)) if letter_table and symbols else ()
+        class_of, representatives = classify_columns(columns)
+        self.classing = SymbolClassing(symbols, class_of)
+        if representatives:
+            self.class_table = tuple(
+                row + (NO_TARGET,) for row in zip(*representatives)
+            )
+        else:
+            self.class_table = tuple((NO_TARGET,) for _ in state_objects)
+        self.silent = tuple(not row for row in variable_table)
+        self._sprint_patterns: dict[int, re.Pattern] = {}
+
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
@@ -132,6 +213,62 @@ class CompiledEVA:
     def num_marker_sets(self) -> int:
         """The number of distinct interned marker sets."""
         return len(self.marker_sets)
+
+    @property
+    def num_classes(self) -> int:
+        """Distinct symbol equivalence classes (excluding the foreign class)."""
+        return self.classing.num_classes
+
+    def sprint_pattern(self, state: int) -> re.Pattern:
+        """A compiled byte-pattern matching every class id that *leaves* *state*.
+
+        The quiescent-run fast path uses it to skip, at C speed, over the
+        (usually long) stretches of a ``bytes`` class buffer on which
+        *state* only self-loops: ``pattern.search(buffer, pos)`` finds the
+        next position whose class either moves to another state or kills
+        the run (the foreign column guarantees the stop set is never
+        empty).  Only meaningful for byte buffers, i.e. classings with at
+        most 256 ids.
+        """
+        pattern = self._sprint_patterns.get(state)
+        if pattern is None:
+            row = self.class_table[state]
+            pattern = store_stop_pattern(
+                self._sprint_patterns,
+                state,
+                (
+                    class_id
+                    for class_id, target in enumerate(row)
+                    if target != state
+                ),
+            )
+        return pattern
+
+    def sprint_pattern_multi(self, states: tuple[int, ...]) -> re.Pattern:
+        """The union stop pattern of several live states.
+
+        Matches every class id on which at least one of *states* does not
+        self-loop: positions before the next match are guaranteed to leave
+        the whole active set (and its parked lists) untouched, so the
+        engines skip them in one C-level scan even when more than one
+        silent run is live — the steady state of sparse-match scanning,
+        where a finished-match run and the scanning run coexist to the end
+        of the document.  *states* must be a sorted tuple (the cache key).
+        """
+        pattern = self._sprint_patterns.get(states)
+        if pattern is None:
+            class_table = self.class_table
+            pattern = store_stop_pattern(
+                self._sprint_patterns,
+                states,
+                (
+                    class_id
+                    for state in states
+                    for class_id, target in enumerate(class_table[state])
+                    if target != state
+                ),
+            )
+        return pattern
 
     def marker_decode_tables(self) -> tuple[tuple, tuple]:
         """Per-marker-set-id ``(opened, closed)`` variable-name tuples.
@@ -153,8 +290,17 @@ class CompiledEVA:
         return key
 
     def encode_text(self, text: str) -> list[int]:
-        """Translate *text* into a list of symbol ids (``-1`` for foreign chars)."""
+        """Translate *text* into a list of symbol ids (``-1`` for foreign chars).
+
+        Introspection only — the engines consume :meth:`encode` (class-id
+        buffers, cached per document) instead.
+        """
         return encode_symbols(self.symbol_index, text)
+
+    def encode(self, document: object):
+        """The cached class-id :class:`~repro.runtime.encoding.EncodedDocument`
+        of *document* under this automaton's classing."""
+        return self.classing.encode(document)
 
     # ------------------------------------------------------------------ #
     # Pickling: the derived index dicts are rebuilt on load so that only
@@ -179,7 +325,7 @@ class CompiledEVA:
     def __repr__(self) -> str:
         return (
             f"CompiledEVA(states={self.num_states}, symbols={self.num_symbols}, "
-            f"marker_sets={self.num_marker_sets})"
+            f"classes={self.num_classes}, marker_sets={self.num_marker_sets})"
         )
 
 

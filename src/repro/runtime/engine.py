@@ -5,12 +5,27 @@ same lazy-list DAG construction as the reference engine in
 :mod:`repro.enumeration.evaluate` — but operating purely on ints:
 
 * live states are slots in a flat list indexed by state id (no hashing),
-* the document is translated once into symbol ids, so the reading phase is
-  two list indexings per live state and character,
+* the document is translated **once per alphabet classing** into a compact
+  class-id buffer (:mod:`repro.runtime.encoding`) cached on the document,
+  so the reading phase is two indexings per live state and character and
+  repeated evaluations of one document skip the translation entirely,
+* symbols with identical letter-table columns share one equivalence class,
+  shrinking the dense rows; one extra all-dead *foreign* class absorbs
+  out-of-alphabet characters, so the inner loops have no foreign branch,
 * marker sets are referenced by id and only materialized into DAG nodes,
 * the per-document state arrays live in an :class:`EvaluationScratch` that
   batch callers reuse across documents, so steady-state evaluation
   allocates only the DAG it returns.
+
+On top of that sits the **quiescent-run fast path**: when every live state
+is *silent* (no extended variable transition), the capturing phase is a
+guaranteed no-op and is skipped; when additionally exactly one run is live
+— the overwhelmingly common case on sparse-match workloads, since a
+deterministic reading phase never forks — the engine *sprints*: the run's
+list/count is parked, and a compiled byte-pattern finds the next position
+whose character class leaves the current state at C speed (for byte
+buffers; a tight Python loop otherwise).  No arena cell, lazy list or
+snapshot is touched while sprinting.
 
 The produced :class:`~repro.enumeration.evaluate.ResultDag` is keyed by the
 original automaton states, so enumeration, counting and the delay profiler
@@ -19,12 +34,11 @@ work on it unchanged.
 
 from __future__ import annotations
 
-from repro.core.documents import as_text
 from repro.core.errors import EvaluationError, NotDeterministicError
 from repro.enumeration.dag import BOTTOM, DagNode
 from repro.enumeration.evaluate import ResultDag
 from repro.enumeration.lazylist import LazyList
-from repro.runtime.compiled import CompiledEVA
+from repro.runtime.compiled import NO_TARGET, CompiledEVA
 from repro.runtime.dag import NIL, CompiledResultDag
 
 __all__ = [
@@ -40,9 +54,13 @@ class EvaluationScratch:
 
     Holds the state-indexed slot arrays that the engines ping-pong between
     phases: the legacy loop keeps per-state :class:`LazyList` slots, the
-    arena loop per-state ``(start, end)`` cell-index pairs.  A scratch is
-    tied to the state count of the automaton it was created for; the batch
-    engine keeps one per worker.
+    arena loop per-state ``(start, end)`` cell-index pairs, and
+    :func:`count_compiled` two per-state partial-run count rows.  A scratch
+    is tied to the state count of the automaton it was created for; the
+    batch engine keeps one per worker and the
+    :class:`~repro.spanners.Spanner` facade one per cached alphabet (a
+    scratch is single-threaded — share automata across threads, not
+    scratches).
     """
 
     __slots__ = (
@@ -53,6 +71,8 @@ class EvaluationScratch:
         "cur_end",
         "pend_start",
         "pend_end",
+        "count_cur",
+        "count_pend",
     )
 
     def __init__(self, compiled: CompiledEVA) -> None:
@@ -63,6 +83,65 @@ class EvaluationScratch:
         self.cur_end = [NIL] * self.num_states
         self.pend_start = [NIL] * self.num_states
         self.pend_end = [NIL] * self.num_states
+        self.count_cur = [0] * self.num_states
+        self.count_pend = [0] * self.num_states
+
+
+def _checked_scratch(
+    compiled: CompiledEVA, scratch: EvaluationScratch | None
+) -> EvaluationScratch:
+    if scratch is None:
+        return EvaluationScratch(compiled)
+    if scratch.num_states != compiled.num_states:
+        raise EvaluationError(
+            "the evaluation scratch was created for a different automaton "
+            f"({scratch.num_states} states, expected {compiled.num_states})"
+        )
+    return scratch
+
+
+def _sprint(
+    compiled: CompiledEVA, buf, pos: int, n: int, state: int, use_patterns: bool
+) -> tuple[int, int]:
+    """Advance a lone silent run until it stops being boring.
+
+    Returns ``(state, pos)``.  ``state == NO_TARGET`` means the run died at
+    ``pos``; otherwise either ``pos == n`` (document exhausted, *state*
+    still live) or ``state`` is non-silent (a capturing phase is due at
+    ``pos``).  Precondition: *state* is silent and ``pos < n``.
+
+    With a ``bytes`` buffer, stretches where *state* self-loops are skipped
+    by :meth:`CompiledEVA.sprint_pattern` — a C-level scan for the next
+    class id that leaves the state — so the Python-level cost is one
+    iteration per state *change*, not per character.
+    """
+    class_table = compiled.class_table
+    silent = compiled.silent
+    if use_patterns:
+        while True:
+            match = compiled.sprint_pattern(state).search(buf, pos)
+            if match is None:
+                return state, n
+            pos = match.start()
+            target = class_table[state][buf[pos]]
+            pos += 1
+            if target < 0:
+                return NO_TARGET, pos
+            state = target
+            if pos >= n or not silent[state]:
+                return state, pos
+    row = class_table[state]
+    while pos < n:
+        target = row[buf[pos]]
+        pos += 1
+        if target < 0:
+            return NO_TARGET, pos
+        if target != state:
+            if not silent[target]:
+                return target, pos
+            state = target
+            row = class_table[state]
+    return state, pos
 
 
 def evaluate_compiled(
@@ -70,44 +149,44 @@ def evaluate_compiled(
     document: object,
     *,
     scratch: EvaluationScratch | None = None,
+    fast_path: bool = True,
 ) -> ResultDag:
     """Run the constant-delay preprocessing on the compiled automaton.
 
     Equivalent to :func:`repro.enumeration.evaluate.evaluate` on
     ``compiled.source`` (the property suite asserts this), at a fraction of
     the per-character cost.  Pass a reused *scratch* when evaluating many
-    documents with the same automaton.
+    documents with the same automaton; ``fast_path=False`` disables the
+    quiescent-run sprint (benchmark and test instrumentation only).
     """
-    text = as_text(document)
-    n = len(text)
-
-    if scratch is None:
-        scratch = EvaluationScratch(compiled)
-    elif scratch.num_states != compiled.num_states:
-        raise EvaluationError(
-            "the evaluation scratch was created for a different automaton "
-            f"({scratch.num_states} states, expected {compiled.num_states})"
-        )
+    encoded = compiled.encode(document)
+    buf = encoded.buffer
+    n = encoded.length
+    scratch = _checked_scratch(compiled, scratch)
 
     current = scratch.current
     pending = scratch.pending
     variable_table = compiled.variable_table
-    letter_table = compiled.letter_table
+    class_table = compiled.class_table
+    silent = compiled.silent
     marker_sets = compiled.marker_sets
+    use_patterns = fast_path and isinstance(buf, bytes)
 
     initial_list = LazyList()
     initial_list.add(BOTTOM)
     initial = compiled.initial
     current[initial] = initial_list
     active = [initial]
+    quiet = silent[initial]
 
-    position = 0
-    for symbol in compiled.encode_text(text):
-        # Capturing phase: simulate the extended variable transitions at
-        # `position`.  The snapshot is taken before any additions so that a
-        # transition's source list is its pre-phase value.
+    def capturing(position: int) -> None:
+        # Simulate the extended variable transitions at `position`.  The
+        # snapshot is taken before any additions so that a transition's
+        # source list is its pre-phase value.
         snapshot = [
-            (state, current[state].lazycopy()) for state in active if variable_table[state]
+            (state, current[state].lazycopy())
+            for state in active
+            if variable_table[state]
         ]
         for state, old_list in snapshot:
             for set_id, target in variable_table[state]:
@@ -119,45 +198,69 @@ def evaluate_compiled(
                     active.append(target)
                 target_list.add(node)
 
-        # Reading phase: consume the character, moving every live list
-        # through its (unique) letter transition.  symbol < 0 means the
-        # character is outside the compiled alphabet: every run dies.
+    pos = 0
+    while pos < n:
+        if quiet and fast_path:
+            if len(active) == 1:
+                # Quiescent sprint: the lone silent run's list rides along
+                # untouched while the reading-only loop below advances it.
+                state = active[0]
+                carried = current[state]
+                current[state] = None
+                state, pos = _sprint(compiled, buf, pos, n, state, use_patterns)
+                if state < 0:
+                    active = []
+                    break
+                current[state] = carried
+                active[0] = state
+                quiet = silent[state]
+                if pos >= n:
+                    break
+            elif use_patterns:
+                # Several silent runs: skip to the next class on which at
+                # least one of them stops self-looping; everything before
+                # it leaves the whole set (and its lists) untouched.
+                match = compiled.sprint_pattern_multi(
+                    tuple(sorted(active))
+                ).search(buf, pos)
+                if match is None:
+                    pos = n
+                    break
+                pos = match.start()
+        if not quiet:
+            capturing(pos)
+
+        # Reading phase: consume the character class, moving every live
+        # list through its (unique) letter transition.  The foreign class
+        # column is all NO_TARGET, so out-of-alphabet characters kill every
+        # run with no special case.
+        symbol = buf[pos]
+        pos += 1
         next_active: list[int] = []
-        if symbol >= 0:
-            for state in active:
-                old_list = current[state]
-                current[state] = None
-                target = letter_table[state][symbol]
-                if target < 0:
-                    continue
-                target_list = pending[target]
-                if target_list is None:
-                    target_list = LazyList()
-                    pending[target] = target_list
-                    next_active.append(target)
-                target_list.append(old_list)
-        else:
-            for state in active:
-                current[state] = None
+        quiet = True
+        for state in active:
+            old_list = current[state]
+            current[state] = None
+            target = class_table[state][symbol]
+            if target < 0:
+                continue
+            target_list = pending[target]
+            if target_list is None:
+                target_list = LazyList()
+                pending[target] = target_list
+                next_active.append(target)
+                if quiet and not silent[target]:
+                    quiet = False
+            target_list.append(old_list)
         current, pending = pending, current
         active = next_active
-        position += 1
         if not active:
             break
 
-    # Final capturing phase at position n (no-op if no run survived).
-    snapshot = [
-        (state, current[state].lazycopy()) for state in active if variable_table[state]
-    ]
-    for state, old_list in snapshot:
-        for set_id, target in variable_table[state]:
-            node = DagNode(marker_sets[set_id], position, old_list)
-            target_list = current[target]
-            if target_list is None:
-                target_list = LazyList()
-                current[target] = target_list
-                active.append(target)
-            target_list.add(node)
+    # Final capturing phase at position n (no-op if no run survived or
+    # every surviving run is silent).
+    if active and not quiet:
+        capturing(pos)
 
     state_objects = compiled.state_objects
     final_lists = {}
@@ -181,6 +284,7 @@ def evaluate_compiled_arena(
     document: object,
     *,
     scratch: EvaluationScratch | None = None,
+    fast_path: bool = True,
 ) -> CompiledResultDag:
     """Algorithm 1 on the dense tables, building the node arena natively.
 
@@ -191,27 +295,24 @@ def evaluate_compiled_arena(
     The paper's ``lazycopy`` degenerates to copying two ints, ``add``
     appends one cell, and ``append`` splices by assigning one next-pointer
     (asserting the single-assignment discipline, as the object lists do).
+    While a lone silent run sprints, not even the two ints move.
 
     Returns the flat :class:`CompiledResultDag`, on which enumeration and
     counting run integer-only (see :mod:`repro.runtime.dag`).
     """
-    text = as_text(document)
-    n = len(text)
-
-    if scratch is None:
-        scratch = EvaluationScratch(compiled)
-    elif scratch.num_states != compiled.num_states:
-        raise EvaluationError(
-            "the evaluation scratch was created for a different automaton "
-            f"({scratch.num_states} states, expected {compiled.num_states})"
-        )
+    encoded = compiled.encode(document)
+    buf = encoded.buffer
+    n = encoded.length
+    scratch = _checked_scratch(compiled, scratch)
 
     cur_start = scratch.cur_start
     cur_end = scratch.cur_end
     pend_start = scratch.pend_start
     pend_end = scratch.pend_end
     variable_table = compiled.variable_table
-    letter_table = compiled.letter_table
+    class_table = compiled.class_table
+    silent = compiled.silent
+    use_patterns = fast_path and isinstance(buf, bytes)
 
     node_markers: list[int] = []
     node_positions: list[int] = []
@@ -224,6 +325,7 @@ def evaluate_compiled_arena(
     cur_start[initial] = 0
     cur_end[initial] = 0
     active = [initial]
+    quiet = silent[initial]
 
     def capturing(position: int) -> None:
         # The (start, end) snapshot *is* the paper's lazycopy: pairs are
@@ -250,49 +352,84 @@ def evaluate_compiled_arena(
                     active.append(target)
                 cur_start[target] = cell
 
-    position = 0
-    for symbol in compiled.encode_text(text):
-        capturing(position)
+    pos = 0
+    while pos < n:
+        if quiet and fast_path:
+            if len(active) == 1:
+                # Quiescent sprint: park the (start, end) pair, chase
+                # letter transitions only.  With a bytes buffer the chase
+                # is a C-level pattern search per state change, not a
+                # Python step per char.
+                state = active[0]
+                start = cur_start[state]
+                end = cur_end[state]
+                cur_start[state] = NIL
+                state, pos = _sprint(compiled, buf, pos, n, state, use_patterns)
+                if state < 0:
+                    active = []
+                    break
+                cur_start[state] = start
+                cur_end[state] = end
+                active[0] = state
+                quiet = silent[state]
+                if pos >= n:
+                    break
+            elif use_patterns:
+                # Several silent runs: skip to the next class on which at
+                # least one of them stops self-looping; everything before
+                # it leaves the whole set (and its pairs) untouched.
+                match = compiled.sprint_pattern_multi(
+                    tuple(sorted(active))
+                ).search(buf, pos)
+                if match is None:
+                    pos = n
+                    break
+                pos = match.start()
+        if not quiet:
+            capturing(pos)
 
         # Reading phase: move every live pair through its (unique) letter
-        # transition; symbol < 0 means a foreign character, every run dies.
+        # transition; the foreign class column is all NO_TARGET, so
+        # out-of-alphabet characters kill every run uniformly.
+        symbol = buf[pos]
+        pos += 1
         next_active: list[int] = []
-        if symbol >= 0:
-            for state in active:
-                old_start = cur_start[state]
-                old_end = cur_end[state]
-                cur_start[state] = NIL
-                target = letter_table[state][symbol]
-                if target < 0:
-                    continue
-                target_start = pend_start[target]
-                if target_start == NIL:
-                    pend_start[target] = old_start
-                    pend_end[target] = old_end
-                    next_active.append(target)
-                else:
-                    # append(old_list): splice at the end of the target's
-                    # pending list; the end cell's next must still be unset.
-                    end_cell = pend_end[target]
-                    if cell_nexts[end_cell] != NIL:
-                        raise NotDeterministicError(
-                            "arena append would overwrite a next pointer; the "
-                            "compiled automaton is not deterministic"
-                        )
-                    cell_nexts[end_cell] = old_start
-                    pend_end[target] = old_end
-        else:
-            for state in active:
-                cur_start[state] = NIL
+        quiet = True
+        for state in active:
+            old_start = cur_start[state]
+            old_end = cur_end[state]
+            cur_start[state] = NIL
+            target = class_table[state][symbol]
+            if target < 0:
+                continue
+            target_start = pend_start[target]
+            if target_start == NIL:
+                pend_start[target] = old_start
+                pend_end[target] = old_end
+                next_active.append(target)
+                if quiet and not silent[target]:
+                    quiet = False
+            else:
+                # append(old_list): splice at the end of the target's
+                # pending list; the end cell's next must still be unset.
+                end_cell = pend_end[target]
+                if cell_nexts[end_cell] != NIL:
+                    raise NotDeterministicError(
+                        "arena append would overwrite a next pointer; the "
+                        "compiled automaton is not deterministic"
+                    )
+                cell_nexts[end_cell] = old_start
+                pend_end[target] = old_end
         cur_start, pend_start = pend_start, cur_start
         cur_end, pend_end = pend_end, cur_end
         active = next_active
-        position += 1
         if not active:
             break
 
-    # Final capturing phase at position n (no-op if no run survived).
-    capturing(position)
+    # Final capturing phase at position n (no-op if no run survived or
+    # every surviving run is silent).
+    if active and not quiet:
+        capturing(pos)
 
     is_final = compiled.is_final
     final_entries = []
@@ -320,22 +457,39 @@ def evaluate_compiled_arena(
     )
 
 
-def count_compiled(compiled: CompiledEVA, document: object) -> int:
+def count_compiled(
+    compiled: CompiledEVA,
+    document: object,
+    *,
+    scratch: EvaluationScratch | None = None,
+    fast_path: bool = True,
+) -> int:
     """Algorithm 3 (Theorem 5.1) on the dense integer tables.
 
     Keeps one partial-run count per state id in a flat list — the integer
     rewrite of :func:`repro.counting.count.count_mappings`.  No DAG, no
-    dictionaries, ``O(|A| × |d|)`` time and ``O(|A|)`` space.
+    dictionaries, ``O(|A| × |d|)`` time and ``O(|A|)`` space.  Like the
+    evaluate engines, it accepts a reusable *scratch* (the same
+    :class:`EvaluationScratch`; its two count rows are borrowed and
+    returned zeroed) so batch and census callers allocate nothing per
+    document, and it sprints through quiescent stretches.
     """
-    text = as_text(document)
-    num_states = compiled.num_states
-    variable_table = compiled.variable_table
-    letter_table = compiled.letter_table
+    encoded = compiled.encode(document)
+    buf = encoded.buffer
+    n = encoded.length
+    scratch = _checked_scratch(compiled, scratch)
 
-    counts = [0] * num_states
-    pending = [0] * num_states
-    counts[compiled.initial] = 1
-    active = [compiled.initial]
+    counts = scratch.count_cur
+    pending = scratch.count_pend
+    variable_table = compiled.variable_table
+    class_table = compiled.class_table
+    silent = compiled.silent
+    use_patterns = fast_path and isinstance(buf, bytes)
+
+    initial = compiled.initial
+    counts[initial] = 1
+    active = [initial]
+    quiet = silent[initial]
 
     def capturing() -> None:
         snapshot = [
@@ -347,29 +501,69 @@ def count_compiled(compiled: CompiledEVA, document: object) -> int:
                     active.append(target)
                 counts[target] += amount
 
-    for symbol in compiled.encode_text(text):
-        capturing()
-        next_active: list[int] = []
-        if symbol >= 0:
-            for state in active:
+    pos = 0
+    while pos < n:
+        if quiet and fast_path:
+            if len(active) == 1:
+                # Quiescent sprint: a lone silent run's count is invariant
+                # under reading (deterministic transitions never fork).
+                state = active[0]
                 amount = counts[state]
                 counts[state] = 0
-                if not amount:
-                    continue
-                target = letter_table[state][symbol]
-                if target < 0:
-                    continue
-                if pending[target] == 0:
-                    next_active.append(target)
-                pending[target] += amount
-        else:
-            for state in active:
-                counts[state] = 0
+                state, pos = _sprint(compiled, buf, pos, n, state, use_patterns)
+                if state < 0:
+                    active = []
+                    break
+                counts[state] = amount
+                active[0] = state
+                quiet = silent[state]
+                if pos >= n:
+                    break
+            elif use_patterns:
+                # Several silent runs: their counts are invariant until a
+                # class leaves at least one of them.
+                match = compiled.sprint_pattern_multi(
+                    tuple(sorted(active))
+                ).search(buf, pos)
+                if match is None:
+                    pos = n
+                    break
+                pos = match.start()
+        if not quiet:
+            capturing()
+
+        symbol = buf[pos]
+        pos += 1
+        next_active: list[int] = []
+        quiet = True
+        for state in active:
+            amount = counts[state]
+            counts[state] = 0
+            if not amount:
+                continue
+            target = class_table[state][symbol]
+            if target < 0:
+                continue
+            if pending[target] == 0:
+                next_active.append(target)
+                if quiet and not silent[target]:
+                    quiet = False
+            pending[target] += amount
         counts, pending = pending, counts
         active = next_active
         if not active:
-            return 0
-    capturing()
+            break
+
+    if active and not quiet:
+        capturing()
 
     is_final = compiled.is_final
-    return sum(counts[state] for state in active if is_final[state])
+    total = sum(counts[state] for state in active if is_final[state])
+
+    # Return the borrowed count rows zeroed for the next document.
+    for state in active:
+        counts[state] = 0
+    scratch.count_cur = counts
+    scratch.count_pend = pending
+
+    return total

@@ -25,6 +25,12 @@ A prepared operator tree is picklable (its leaves hold the same
 ships once per worker), which is what makes physical plans portable across
 the process pool — see :func:`repro.runtime.batch.run_batch` with
 ``engine="hybrid"``.
+
+Operators pass the document *object* down unchanged: each fused leaf's
+engine pulls the shared class-id buffer from the document's encoding cache
+(:mod:`repro.runtime.encoding`), so two leaves with the same alphabet
+classing — or repeated executions of one plan over one document — trigger
+a single encoding pass per signature instead of one per leaf invocation.
 """
 
 from __future__ import annotations

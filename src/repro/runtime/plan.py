@@ -37,6 +37,13 @@ run:
 compile directly; small non-deterministic ones determinize up front because
 the subset construction is provably bounded by ``2^states`` and cheap to
 amortize; large non-deterministic ones switch to on-the-fly evaluation.
+
+Whatever engine a plan names, the document reaches it as an *object*, not
+a pre-translated id list: every compiled engine (and every fused leaf of a
+``hybrid`` plan) pulls the shared class-id buffer of
+:mod:`repro.runtime.encoding` from the document's own cache, so one
+encoding pass per alphabet-classing signature serves the whole plan — the
+planner never has to trade engines against re-translation cost.
 """
 
 from __future__ import annotations

@@ -9,11 +9,15 @@ compiled counterpart:
 
 * the *possibly non-deterministic* sequential eVA is interned once into
   dense integer tables (states, symbols and marker sets get contiguous
-  ids; letter rows map a symbol id to a *tuple* of target ids);
+  ids); alphabet symbols with identical letter behaviour across **all**
+  base states collapse into one equivalence class, and documents are
+  translated into cached class-id buffers exactly like the dense runtime
+  (:mod:`repro.runtime.encoding` — one C-level pass per document and
+  classing signature, shared with any other engine of the same signature);
 * reachable subset-states are interned to integers **on demand** — a
   subset is hashed exactly once, when first discovered, and from then on
   it is just an int;
-* discovered subset rows (variable successors and per-symbol letter
+* discovered subset rows (variable successors and per-class letter
   successors) are cached on the :class:`CompiledSubsetEVA` itself, so they
   are reused across positions *and across every document* evaluated with
   the same instance — the batch engine evaluates a whole collection
@@ -22,19 +26,31 @@ compiled counterpart:
 
 :func:`evaluate_subset_arena` runs the same arena-building Algorithm 1 loop
 as :func:`repro.runtime.engine.evaluate_compiled_arena` over the lazily
-determinized automaton, and :func:`count_subset` is the matching integer
-Algorithm 3.  Both keep per-subset slots in dictionaries keyed by subset
-id, because the state space grows while evaluating.
+determinized automaton — including the quiescent-run fast path: a subset
+whose members all lack variable transitions is *silent*, capturing phases
+are skipped while every live subset is silent, and a lone silent subset
+sprints through byte buffers via a per-subset compiled stop pattern.
+:func:`count_subset` is the matching integer Algorithm 3.  Both keep
+per-subset slots in dictionaries keyed by subset id, because the state
+space grows while evaluating.
 """
 
 from __future__ import annotations
 
-from repro.core.documents import as_text
+import re
+
 from repro.core.errors import CompilationError, NotDeterministicError
 from repro.automata.eva import ExtendedVA
 from repro.automata.markers import MarkerSet
-from repro.runtime.compiled import NO_TARGET, encode_symbols, marker_decode_tables_for
+from repro.runtime.compiled import (
+    NO_TARGET,
+    classify_columns,
+    encode_symbols,
+    marker_decode_tables_for,
+    store_stop_pattern,
+)
 from repro.runtime.dag import NIL, CompiledResultDag
+from repro.runtime.encoding import SymbolClassing
 
 __all__ = ["CompiledSubsetEVA", "count_subset", "evaluate_subset_arena"]
 
@@ -48,11 +64,12 @@ class CompiledSubsetEVA:
     The instance is **stateful**: its subset tables grow monotonically as
     documents are evaluated, which is exactly the point — discovery work is
     paid once per reachable subset, not once per document.  The base
-    automaton's interning (states, symbols, marker sets) happens eagerly in
-    the constructor and is deterministic, so marker-set ids are stable
-    across processes; subset ids are *not* (each process discovers subsets
-    in its own order), which is why portable results key final states by
-    the subset's member tuple (see :meth:`portable_state_key`).
+    automaton's interning (states, symbols, marker sets, symbol classes)
+    happens eagerly in the constructor and is deterministic, so marker-set
+    ids are stable across processes; subset ids are *not* (each process
+    discovers subsets in its own order), which is why portable results key
+    final states by the subset's member tuple (see
+    :meth:`portable_state_key`).
     """
 
     def __init__(self, automaton: ExtendedVA) -> None:
@@ -96,18 +113,39 @@ class CompiledSubsetEVA:
         self.base_letter = tuple(base_letter)
         self.base_finals = frozenset(base_index[s] for s in automaton.finals)
 
+        # --- symbol equivalence classes over the base letter columns --- #
+        # Two symbols share a class iff every base state maps them to the
+        # same target set; one trailing empty foreign column absorbs
+        # out-of-alphabet characters.
+        columns = (
+            tuple(zip(*self.base_letter)) if self.base_letter and self.symbols else ()
+        )
+        class_of, representatives = classify_columns(columns)
+        self.classing = SymbolClassing(self.symbols, class_of)
+        if representatives:
+            self.base_letter_by_class = tuple(
+                row + ((),) for row in zip(*representatives)
+            )
+        else:
+            self.base_letter_by_class = tuple(((),) for _ in base_states)
+        #: states without any extended variable transition, by base id
+        self._base_silent = tuple(not row for row in self.base_variable)
+
         # --- lazily grown subset tables --- #
         #: member tuple (sorted base ids) per subset id
         self.subset_members: list[tuple[int, ...]] = []
         self._subset_index: dict[tuple[int, ...], int] = {}
         #: per-subset (marker_set_id, target_subset_id) rows, None = unknown
         self.subset_variable: list[tuple[tuple[int, int], ...] | None] = []
-        #: per-subset per-symbol successor, UNKNOWN until discovered
+        #: per-subset per-class successor, UNKNOWN until discovered
         self.subset_letter: list[list[int]] = []
         self.subset_is_final: list[bool] = []
+        #: per-subset "all members silent" flag (quiescent fast path)
+        self.subset_silent: list[bool] = []
         #: frozensets of base state objects, for ResultDag conversion
         self._state_objects: list[frozenset] = []
         self._marker_decode: tuple[tuple, tuple] | None = None
+        self._sprint_patterns: dict[int, re.Pattern] = {}
 
         self.initial = self.intern_subset((0,))
 
@@ -123,10 +161,12 @@ class CompiledSubsetEVA:
             self._subset_index[members] = subset_id
             self.subset_members.append(members)
             self.subset_variable.append(None)
-            self.subset_letter.append([UNKNOWN] * len(self.symbols))
+            self.subset_letter.append([UNKNOWN] * self.classing.num_ids)
             self.subset_is_final.append(
                 any(state in self.base_finals for state in members)
             )
+            base_silent = self._base_silent
+            self.subset_silent.append(all(base_silent[state] for state in members))
             self._state_objects.append(
                 frozenset(self.base_state_objects[state] for state in members)
             )
@@ -152,20 +192,69 @@ class CompiledSubsetEVA:
             self.subset_variable[subset_id] = row
         return row
 
-    def letter_successor(self, subset_id: int, symbol: int) -> int:
-        """``δ(subset, symbol)`` — ``NO_TARGET`` if every member run dies."""
+    def letter_successor(self, subset_id: int, symbol_class: int) -> int:
+        """``δ(subset, class)`` — ``NO_TARGET`` if every member run dies.
+
+        *symbol_class* is an equivalence-class id of :attr:`classing` (the
+        foreign class yields ``NO_TARGET``: its base columns are empty).
+        """
         row = self.subset_letter[subset_id]
-        successor = row[symbol]
+        successor = row[symbol_class]
         if successor == UNKNOWN:
             targets: set[int] = set()
-            base_letter = self.base_letter
+            base_letter = self.base_letter_by_class
             for state in self.subset_members[subset_id]:
-                targets.update(base_letter[state][symbol])
+                targets.update(base_letter[state][symbol_class])
             successor = (
                 self.intern_subset(tuple(sorted(targets))) if targets else NO_TARGET
             )
-            row[symbol] = successor
+            row[symbol_class] = successor
         return successor
+
+    def sprint_pattern(self, subset_id: int) -> re.Pattern:
+        """A compiled byte-pattern matching every class id leaving *subset_id*.
+
+        Forces discovery of the subset's full letter row on first use, then
+        caches the pattern; rows are immutable once discovered, so the
+        pattern stays valid for the instance's lifetime.  Only meaningful
+        for byte buffers (classings with at most 256 ids).
+        """
+        pattern = self._sprint_patterns.get(subset_id)
+        if pattern is None:
+            # The foreign class never self-loops, so the stop set is
+            # non-empty.
+            pattern = store_stop_pattern(
+                self._sprint_patterns,
+                subset_id,
+                (
+                    class_id
+                    for class_id in range(self.classing.num_ids)
+                    if self.letter_successor(subset_id, class_id) != subset_id
+                ),
+            )
+        return pattern
+
+    def sprint_pattern_multi(self, subset_ids: tuple[int, ...]) -> re.Pattern:
+        """The union stop pattern of several live subsets (sorted tuple key).
+
+        Matches every class id on which at least one of *subset_ids* does
+        not self-loop — see :meth:`CompiledEVA.sprint_pattern_multi` for
+        how the engines use it to skip multi-run quiescent stretches.
+        """
+        pattern = self._sprint_patterns.get(subset_ids)
+        if pattern is None:
+            letter_successor = self.letter_successor
+            pattern = store_stop_pattern(
+                self._sprint_patterns,
+                subset_ids,
+                (
+                    class_id
+                    for subset_id in subset_ids
+                    for class_id in range(self.classing.num_ids)
+                    if letter_successor(subset_id, class_id) != subset_id
+                ),
+            )
+        return pattern
 
     # ------------------------------------------------------------------ #
     # Introspection and the CompiledResultDag provider protocol
@@ -180,6 +269,11 @@ class CompiledSubsetEVA:
     def num_subset_states(self) -> int:
         """The number of subset-states discovered so far."""
         return len(self.subset_members)
+
+    @property
+    def num_classes(self) -> int:
+        """Distinct symbol equivalence classes (excluding the foreign class)."""
+        return self.classing.num_classes
 
     @property
     def state_objects(self) -> list[frozenset]:
@@ -207,30 +301,88 @@ class CompiledSubsetEVA:
         return self.intern_subset(tuple(key))
 
     def encode_text(self, text: str) -> list[int]:
-        """Translate *text* into symbol ids (``-1`` for foreign characters)."""
+        """Translate *text* into symbol ids (``-1`` for foreign characters).
+
+        Introspection only — the engines consume :meth:`encode` (class-id
+        buffers, cached per document) instead.
+        """
         return encode_symbols(self.symbol_index, text)
+
+    def encode(self, document: object):
+        """The cached class-id :class:`~repro.runtime.encoding.EncodedDocument`
+        of *document* under this automaton's classing."""
+        return self.classing.encode(document)
 
     def __repr__(self) -> str:
         return (
             f"CompiledSubsetEVA(base_states={self.num_base_states}, "
-            f"subsets={self.num_subset_states}, symbols={len(self.symbols)})"
+            f"subsets={self.num_subset_states}, symbols={len(self.symbols)}, "
+            f"classes={self.num_classes})"
         )
 
 
+def _sprint_subset(
+    subset_eva: CompiledSubsetEVA,
+    buf,
+    pos: int,
+    n: int,
+    subset_id: int,
+    use_patterns: bool,
+) -> tuple[int, int]:
+    """Advance a lone silent subset-run; mirrors the dense engine's sprint.
+
+    Returns ``(subset_id, pos)``; ``subset_id == NO_TARGET`` means the run
+    died at ``pos``, otherwise either the document is exhausted or the
+    subset is non-silent and a capturing phase is due.
+    """
+    silent = subset_eva.subset_silent
+    letter_successor = subset_eva.letter_successor
+    if use_patterns:
+        while True:
+            match = subset_eva.sprint_pattern(subset_id).search(buf, pos)
+            if match is None:
+                return subset_id, n
+            pos = match.start()
+            target = letter_successor(subset_id, buf[pos])
+            pos += 1
+            if target < 0:
+                return NO_TARGET, pos
+            subset_id = target
+            if pos >= n or not silent[subset_id]:
+                return subset_id, pos
+    while pos < n:
+        target = letter_successor(subset_id, buf[pos])
+        pos += 1
+        if target < 0:
+            return NO_TARGET, pos
+        if target != subset_id:
+            if not silent[target]:
+                return target, pos
+            subset_id = target
+    return subset_id, pos
+
+
 def evaluate_subset_arena(
-    subset_eva: CompiledSubsetEVA, document: object
+    subset_eva: CompiledSubsetEVA,
+    document: object,
+    *,
+    fast_path: bool = True,
 ) -> CompiledResultDag:
     """Algorithm 1 over the lazily determinized automaton, arena output.
 
-    The same loop as :func:`repro.runtime.engine.evaluate_compiled_arena`,
-    with per-subset ``(start, end)`` list pairs held in dicts keyed by
-    subset id (the state space grows during evaluation, so there is no
-    fixed-size scratch).  The subset automaton is deterministic by
-    construction, so the lazy-list append discipline holds and every path
-    of the resulting DAG yields a distinct mapping.
+    The same loop as :func:`repro.runtime.engine.evaluate_compiled_arena`
+    — cached class-id buffer, skipped capturing phases while every live
+    subset is silent, single-run sprint — with per-subset ``(start, end)``
+    list pairs held in dicts keyed by subset id (the state space grows
+    during evaluation, so there is no fixed-size scratch).  The subset
+    automaton is deterministic by construction, so the lazy-list append
+    discipline holds and every path of the resulting DAG yields a distinct
+    mapping.
     """
-    text = as_text(document)
-    n = len(text)
+    encoded = subset_eva.encode(document)
+    buf = encoded.buffer
+    n = encoded.length
+    use_patterns = fast_path and isinstance(buf, bytes)
 
     node_markers: list[int] = []
     node_positions: list[int] = []
@@ -241,9 +393,11 @@ def evaluate_subset_arena(
 
     variable_row = subset_eva.variable_row
     letter_successor = subset_eva.letter_successor
+    silent = subset_eva.subset_silent
 
     # lists[subset_id] = (start, end) pair of the live lazy list.
     lists: dict[int, tuple[int, int]] = {subset_eva.initial: (0, 0)}
+    quiet = silent[subset_eva.initial]
 
     def capturing(position: int) -> None:
         for subset_id, (old_start, old_end) in list(lists.items()):
@@ -259,33 +413,60 @@ def evaluate_subset_arena(
                 cell_nexts.append(NIL if current is None else current[0])
                 lists[target] = (cell, cell if current is None else current[1])
 
-    position = 0
-    for symbol in subset_eva.encode_text(text):
-        capturing(position)
+    pos = 0
+    while pos < n:
+        if quiet and fast_path:
+            if len(lists) == 1:
+                ((subset_id, pair),) = lists.items()
+                subset_id, pos = _sprint_subset(
+                    subset_eva, buf, pos, n, subset_id, use_patterns
+                )
+                if subset_id < 0:
+                    lists = {}
+                    break
+                lists = {subset_id: pair}
+                quiet = silent[subset_id]
+                if pos >= n:
+                    break
+            elif use_patterns:
+                match = subset_eva.sprint_pattern_multi(
+                    tuple(sorted(lists))
+                ).search(buf, pos)
+                if match is None:
+                    pos = n
+                    break
+                pos = match.start()
+        if not quiet:
+            capturing(pos)
+
+        symbol = buf[pos]
+        pos += 1
         old_lists = lists
         lists = {}
-        if symbol >= 0:
-            for subset_id, (old_start, old_end) in old_lists.items():
-                target = letter_successor(subset_id, symbol)
-                if target < 0:
-                    continue
-                current = lists.get(target)
-                if current is None:
-                    lists[target] = (old_start, old_end)
-                else:
-                    end_cell = current[1]
-                    if cell_nexts[end_cell] != NIL:
-                        raise NotDeterministicError(
-                            "arena append would overwrite a next pointer; the "
-                            "subset construction produced a non-deterministic row"
-                        )
-                    cell_nexts[end_cell] = old_start
-                    lists[target] = (current[0], old_end)
-        position += 1
+        quiet = True
+        for subset_id, (old_start, old_end) in old_lists.items():
+            target = letter_successor(subset_id, symbol)
+            if target < 0:
+                continue
+            current = lists.get(target)
+            if current is None:
+                lists[target] = (old_start, old_end)
+                if quiet and not silent[target]:
+                    quiet = False
+            else:
+                end_cell = current[1]
+                if cell_nexts[end_cell] != NIL:
+                    raise NotDeterministicError(
+                        "arena append would overwrite a next pointer; the "
+                        "subset construction produced a non-deterministic row"
+                    )
+                cell_nexts[end_cell] = old_start
+                lists[target] = (current[0], old_end)
         if not lists:
             break
 
-    capturing(position)
+    if lists and not quiet:
+        capturing(pos)
 
     is_final = subset_eva.subset_is_final
     final_entries = [
@@ -306,38 +487,83 @@ def evaluate_subset_arena(
     )
 
 
-def count_subset(subset_eva: CompiledSubsetEVA, document: object) -> int:
+def count_subset(
+    subset_eva: CompiledSubsetEVA,
+    document: object,
+    *,
+    fast_path: bool = True,
+) -> int:
     """Algorithm 3 over the lazily determinized automaton.
 
     Counts without determinizing up front and without building any DAG;
     the per-subset partial-run counts live in a dict keyed by subset id.
-    Row discovery is shared with (and cached for) every other evaluation
-    through the same :class:`CompiledSubsetEVA`.
+    Row discovery — and the cached document encoding — is shared with (and
+    cached for) every other evaluation through the same
+    :class:`CompiledSubsetEVA`, and quiescent stretches sprint exactly as
+    in :func:`evaluate_subset_arena`.
     """
-    text = as_text(document)
+    encoded = subset_eva.encode(document)
+    buf = encoded.buffer
+    n = encoded.length
+    use_patterns = fast_path and isinstance(buf, bytes)
+
     variable_row = subset_eva.variable_row
     letter_successor = subset_eva.letter_successor
+    silent = subset_eva.subset_silent
 
     counts: dict[int, int] = {subset_eva.initial: 1}
+    quiet = silent[subset_eva.initial]
 
     def capturing() -> None:
         for subset_id, amount in list(counts.items()):
             for _set_id, target in variable_row(subset_id):
                 counts[target] = counts.get(target, 0) + amount
 
-    for symbol in subset_eva.encode_text(text):
-        capturing()
+    pos = 0
+    while pos < n:
+        if quiet and fast_path:
+            if len(counts) == 1:
+                ((subset_id, amount),) = counts.items()
+                subset_id, pos = _sprint_subset(
+                    subset_eva, buf, pos, n, subset_id, use_patterns
+                )
+                if subset_id < 0:
+                    return 0
+                counts = {subset_id: amount}
+                quiet = silent[subset_id]
+                if pos >= n:
+                    break
+            elif use_patterns:
+                match = subset_eva.sprint_pattern_multi(
+                    tuple(sorted(counts))
+                ).search(buf, pos)
+                if match is None:
+                    pos = n
+                    break
+                pos = match.start()
+        if not quiet:
+            capturing()
+
+        symbol = buf[pos]
+        pos += 1
         previous = counts
         counts = {}
-        if symbol >= 0:
-            for subset_id, amount in previous.items():
-                target = letter_successor(subset_id, symbol)
-                if target < 0:
-                    continue
-                counts[target] = counts.get(target, 0) + amount
+        quiet = True
+        for subset_id, amount in previous.items():
+            target = letter_successor(subset_id, symbol)
+            if target < 0:
+                continue
+            if target not in counts:
+                counts[target] = amount
+                if quiet and not silent[target]:
+                    quiet = False
+            else:
+                counts[target] += amount
         if not counts:
             return 0
-    capturing()
+
+    if counts and not quiet:
+        capturing()
 
     is_final = subset_eva.subset_is_final
     return sum(amount for subset_id, amount in counts.items() if is_final[subset_id])

@@ -17,6 +17,15 @@ documents they are evaluated on); the cache is a small LRU bounded by the
 sequential eVA, the deterministic eVA, both compiled runtimes and the
 execution plan — lives in **one** entry, so they are evicted together.
 
+Documents flow down to the engines as objects: every compiled engine
+translates them once per alphabet-classing signature into a cached
+class-id buffer (:mod:`repro.runtime.encoding`), so calling
+:meth:`Spanner.enumerate`, :meth:`Spanner.count` and
+:meth:`Spanner.extract` on the same :class:`~repro.core.documents.Document`
+pays a single C-level encoding pass, and the per-alphabet cache entry
+carries one reusable :class:`~repro.runtime.engine.EvaluationScratch` for
+the arena and counting engines.
+
 Evaluation goes through the :class:`~repro.runtime.plan.ExecutionPlan`
 layer.  ``engine="auto"`` (the default) lets the planner pick between the
 dense-table arena engine (``"compiled"``), the lazily determinized subset
@@ -55,7 +64,11 @@ from repro.regex.ast import RegexNode
 from repro.regex.parser import parse_regex
 from repro.runtime.batch import run_batch as run_batch_compiled
 from repro.runtime.compiled import CompiledEVA
-from repro.runtime.engine import count_compiled, evaluate_compiled_arena
+from repro.runtime.engine import (
+    EvaluationScratch,
+    count_compiled,
+    evaluate_compiled_arena,
+)
 from repro.runtime.plan import ENGINE_CHOICES, ExecutionPlan, choose_plan
 from repro.runtime.subset import CompiledSubsetEVA, count_subset, evaluate_subset_arena
 from repro.spanners.pipeline import CompilationPipeline, CompilationReport
@@ -73,6 +86,7 @@ class _CompiledState:
         "report",
         "runtime",
         "otf_runtime",
+        "scratch",
         "plan",
         "stats",
         "optimized",
@@ -85,6 +99,7 @@ class _CompiledState:
         self.report: CompilationReport | None = None
         self.runtime: CompiledEVA | None = None
         self.otf_runtime: CompiledSubsetEVA | None = None
+        self.scratch: EvaluationScratch | None = None
         self.plan: ExecutionPlan | None = None
         self.stats: AutomatonStatistics | None = None
         self.optimized = None  # OptimizedPlan, physical tree prepared for the key
@@ -269,6 +284,19 @@ class Spanner:
             state.runtime = self._pipeline.intern(automaton, report)
         return state.runtime
 
+    def _scratch_for_key(self, key: frozenset[str]) -> EvaluationScratch:
+        """The per-alphabet reusable :class:`EvaluationScratch`.
+
+        Shared by the arena engine and :func:`count_compiled`, so repeated
+        ``enumerate``/``count`` calls through the facade allocate no slot
+        arrays.  A scratch is single-threaded, like the compilation cache
+        it lives in.
+        """
+        state = self._state_for_key(key)
+        if state.scratch is None:
+            state.scratch = EvaluationScratch(self._runtime_for_key(key))
+        return state.scratch
+
     def _otf_runtime_for_key(self, key: frozenset[str]) -> CompiledSubsetEVA:
         state = self._state_for_key(key)
         if state.otf_runtime is None:
@@ -364,7 +392,9 @@ class Spanner:
             return run_evaluate(automaton, document, check_determinism=False)
         if plan.engine == "compiled-otf":
             return evaluate_subset_arena(self._otf_runtime_for_key(key), document)
-        return evaluate_compiled_arena(self._runtime_for_key(key), document)
+        return evaluate_compiled_arena(
+            self._runtime_for_key(key), document, scratch=self._scratch_for_key(key)
+        )
 
     def enumerate(self, document: object, *, engine: str | None = None) -> Iterator[Mapping]:
         """Enumerate ``⟦γ⟧(d)`` with constant delay after linear preprocessing."""
@@ -435,7 +465,9 @@ class Spanner:
             return count_mappings(automaton, document, check_determinism=False)
         if plan.engine == "compiled-otf":
             return count_subset(self._otf_runtime_for_key(key), document)
-        return count_compiled(self._runtime_for_key(key), document)
+        return count_compiled(
+            self._runtime_for_key(key), document, scratch=self._scratch_for_key(key)
+        )
 
     def extract(
         self, document: object, *, engine: str | None = None

@@ -33,6 +33,7 @@ __all__ = [
     "random_collection",
     "scenario",
     "scenario_names",
+    "sparse_log_collection",
 ]
 
 
@@ -89,6 +90,35 @@ def log_collection(
         collection.add(
             server_log(lines_per_document, seed=seed + index),
             doc_id=f"log-{index}",
+        )
+    return collection
+
+
+def sparse_log_collection(
+    num_documents: int,
+    lines_per_document: int = 2000,
+    seed: int = 0,
+    error_rate: float = 0.005,
+) -> DocumentCollection:
+    """Long synthetic logs in which ERROR lines are genuinely rare.
+
+    Unlike :func:`log_collection` (whose uniform level draw makes a third
+    of the lines ERROR), the non-forced lines here only carry INFO / WARN,
+    so ``error_rate`` is the actual match density.  Paired with the ERROR
+    pattern this is the sparse-match regime in which the compiled engines'
+    quiescent-run fast path should dominate: almost every position has
+    only silent runs live, and whole lines are skipped per C-level scan.
+    """
+    collection = DocumentCollection(name="sparse-logs")
+    for index in range(num_documents):
+        collection.add(
+            server_log(
+                lines_per_document,
+                seed=seed + index,
+                error_rate=error_rate,
+                levels=("INFO", "WARN"),
+            ),
+            doc_id=f"sparse-log-{index}",
         )
     return collection
 
@@ -177,6 +207,14 @@ def scenario(name: str, num_documents: int = 8, scale: int | None = None, seed: 
             r".*ERROR worker-w{[0-9]} .*",
             log_collection(num_documents, scale if scale is not None else 100, seed),
         )
+    if name == "sparse-logs":
+        return BatchScenario(
+            name,
+            r".*ERROR worker-w{[0-9]} .*",
+            sparse_log_collection(
+                num_documents, scale if scale is not None else 2000, seed
+            ),
+        )
     if name == "dna":
         return BatchScenario(
             name,
@@ -209,4 +247,12 @@ def scenario(name: str, num_documents: int = 8, scale: int | None = None, seed: 
 
 def scenario_names() -> tuple[str, ...]:
     """The available batch scenario names."""
-    return ("contacts", "logs", "dna", "random", "nested", "join-heavy")
+    return (
+        "contacts",
+        "logs",
+        "sparse-logs",
+        "dna",
+        "random",
+        "nested",
+        "join-heavy",
+    )

@@ -48,13 +48,22 @@ def contact_document(num_records: int, seed: int = 0) -> Document:
     return Document(", ".join(records), name=f"contacts[{num_records}]")
 
 
-def server_log(num_lines: int, seed: int = 0, error_rate: float = 0.2) -> Document:
+def server_log(
+    num_lines: int,
+    seed: int = 0,
+    error_rate: float = 0.2,
+    levels: tuple[str, ...] = ("INFO", "WARN", "ERROR"),
+) -> Document:
     """A synthetic server log with INFO / WARN / ERROR lines.
 
     Lines look like ``2024-03-14 12:33:51 ERROR worker-3 timeout after 30s``.
+    ``error_rate`` forces that fraction of lines to ERROR *in addition* to
+    the uniform draw over ``levels``; pass ``levels=("INFO", "WARN")`` for
+    a truly sparse log where ``error_rate`` alone controls how rare ERROR
+    lines are (the ``sparse-logs`` benchmark scenario).
     """
     rng = random.Random(seed)
-    levels = ["INFO", "WARN", "ERROR"]
+    levels = list(levels)
     messages = [
         "request served", "cache miss", "timeout after 30s", "connection reset",
         "retrying upstream", "disk nearly full", "user login", "user logout",
