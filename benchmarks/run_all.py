@@ -1,21 +1,23 @@
-"""Run the benchmark suite, gate it, and emit the BENCH_4.json snapshot.
+"""Run the benchmark suite, gate it, and emit the BENCH_5.json snapshot.
 
 One entry point for everything CI (and a developer refreshing baselines)
 needs:
 
-1. run the three report-producing benchmarks (``bench_batch.py``,
-   ``bench_enumerate.py``, ``bench_algebra.py``), in smoke mode by default;
+1. run the four report-producing benchmarks (``bench_batch.py``,
+   ``bench_enumerate.py``, ``bench_algebra.py``, ``bench_streaming.py``),
+   in smoke mode by default;
 2. gate every report against its committed baseline with
    ``check_regression.py`` (ratio tolerance plus the absolute floors the
-   acceptance criteria pin);
-3. write a consolidated perf-trajectory snapshot — ``BENCH_4.json`` at the
+   acceptance criteria pin — including the streaming first-result-latency
+   and peak-buffer floors);
+3. write a consolidated perf-trajectory snapshot — ``BENCH_5.json`` at the
    repository root — containing only the machine-portable ratio metrics of
    every workload, so the repo history carries one comparable perf number
    set per PR.
 
 Usage::
 
-    python benchmarks/run_all.py [--full] [--skip-gates] [--output BENCH_4.json]
+    python benchmarks/run_all.py [--full] [--skip-gates] [--output BENCH_5.json]
 
 ``--full`` runs the full-size workloads instead of the CI smokes (and
 skips the gates: the committed baselines are smoke-sized, so comparing
@@ -67,6 +69,23 @@ SUITE = [
         os.path.join("baselines", "algebra_smoke.json"),
         [],
     ),
+    (
+        "bench_streaming.py",
+        "streaming_report.json",
+        os.path.join("baselines", "streaming_smoke.json"),
+        # The streaming acceptance criteria: a first result must arrive
+        # well before the whole-document arena finishes preprocessing,
+        # the incremental buffer must stay below the full arena, and
+        # chunk-fed throughput must not collapse.
+        [
+            "--min-speedup",
+            "speedup_first_result_vs_arena=1.5",
+            "--min-speedup",
+            "speedup_peak_cells_vs_arena=1.2",
+            "--min-speedup",
+            "speedup_streaming_throughput_vs_arena=0.5",
+        ],
+    ),
 ]
 
 
@@ -113,13 +132,13 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output",
         default=None,
-        help="path of the consolidated snapshot (default: BENCH_4.json at the "
-        "repo root for smoke runs, BENCH_4_full.json for --full so a local "
+        help="path of the consolidated snapshot (default: BENCH_5.json at the "
+        "repo root for smoke runs, BENCH_5_full.json for --full so a local "
         "full-size run never overwrites the committed smoke trajectory)",
     )
     args = parser.parse_args(argv)
     if args.output is None:
-        name = "BENCH_4_full.json" if args.full else "BENCH_4.json"
+        name = "BENCH_5_full.json" if args.full else "BENCH_5.json"
         args.output = os.path.join(REPO_ROOT, name)
 
     mode_args = [] if args.full else ["--smoke"]
@@ -131,7 +150,7 @@ def main(argv=None) -> int:
         print("note: --full skips the regression gates (baselines are smoke-sized)")
     failures: list[str] = []
     snapshot = {
-        "pr": 4,
+        "pr": 5,
         "smoke": not args.full,
         "cpu_count": os.cpu_count(),
         "benchmarks": {},

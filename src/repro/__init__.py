@@ -37,6 +37,7 @@ from repro.core.errors import (
     NotSequentialError,
     ReproError,
     SpanError,
+    StreamingError,
 )
 from repro.core.mappings import Mapping
 from repro.core.spans import Span
@@ -54,6 +55,7 @@ __all__ = [
     "Span",
     "SpanError",
     "Spanner",
+    "StreamingError",
     "__version__",
 ]
 

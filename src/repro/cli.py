@@ -1,6 +1,6 @@
 """Command line interface: ``python -m repro``.
 
-Five subcommands expose the library's main operations on files (or stdin):
+Six subcommands expose the library's main operations on files (or stdin):
 
 ``extract``
     Evaluate a regex-formula spanner over a document and print one line per
@@ -26,22 +26,43 @@ Five subcommands expose the library's main operations on files (or stdin):
     Compile once and evaluate over many document files with the batch
     engine, serially or across worker processes, printing one JSON line per
     document.
+
+``stream``
+    Chunk-fed evaluation (:mod:`repro.runtime.streaming`): read the
+    document in ``--chunk-size`` slices from a file or line-by-line from a
+    pipe, and — in the default ``--emit incremental`` mode — print each
+    mapping the moment it becomes settled instead of waiting for EOF.
+    Because the document is not known up front, wildcards expand over
+    ``--alphabet`` (printable ASCII plus whitespace by default).
+
+Every command reports malformed patterns, unreadable files and streaming
+protocol errors as a one-line message on stderr with a non-zero exit
+code — no tracebacks.
 """
 
 from __future__ import annotations
 
 import argparse
+import bisect
 import json
+import os
 import sys
 from typing import Iterable
 
 from repro.core.documents import Document, DocumentCollection
+from repro.core.errors import ReproError
 from repro.io.serialization import mapping_to_dict
 from repro.runtime.batch import MODES
 from repro.runtime.plan import ENGINE_CHOICES
 from repro.spanners.spanner import Spanner
 
 __all__ = ["build_parser", "main"]
+
+#: The default declared alphabet of ``repro stream``: printable ASCII plus
+#: the usual whitespace — what a log pipe realistically carries.  Wildcard
+#: patterns expand over this set because the streamed document's own
+#: characters are not known up front.
+DEFAULT_STREAM_ALPHABET = "".join(chr(point) for point in range(32, 127)) + "\t\n\r"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -156,6 +177,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="print only the per-document mapping counts, not the mappings",
     )
 
+    stream = subparsers.add_parser(
+        "stream", help="chunk-fed evaluation: emit mappings as a stream settles"
+    )
+    stream.add_argument(
+        "pattern", help="regex formula with captures, e.g. '.*name{[A-Z][a-z]+} .*'"
+    )
+    stream.add_argument(
+        "document",
+        nargs="?",
+        help="path of the input document, read in --chunk-size slices "
+        "(omit to read from stdin line by line — tail -f friendly)",
+    )
+    stream.add_argument(
+        "--chunk-size", type=int, default=8192, help="characters per chunk"
+    )
+    stream.add_argument(
+        "--emit",
+        choices=["incremental", "on-finish"],
+        default="incremental",
+        help="incremental (default): print each mapping the moment it is "
+        "settled; on-finish: buffer the arena and print everything at EOF",
+    )
+    stream.add_argument(
+        "--alphabet",
+        default=None,
+        help="every character the stream may contain (wildcards expand over "
+        "this set; default: printable ASCII plus whitespace)",
+    )
+    stream.add_argument(
+        "--format",
+        choices=["text", "json", "spans"],
+        default="text",
+        help="output format; 'text' and 'json' retain the whole streamed "
+        "text to slice captured substrings (memory grows with the "
+        "stream) — use 'spans' on unbounded tails, it retains nothing",
+    )
+    stream.add_argument(
+        "--limit", type=int, default=None, help="stop after this many mappings"
+    )
+
     return parser
 
 
@@ -268,15 +329,150 @@ def _run_batch(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _stream_chunks(path: str | None, chunk_size: int, stdin: Iterable[str] | None):
+    """The chunk source of ``repro stream``.
+
+    A file is read in *chunk_size* slices; stdin is consumed line by
+    line, which keeps the command responsive on a pipe that is still
+    being written (each line of a ``tail -f`` arrives as its own chunk).
+    """
+    if path is not None:
+        with open(path, "r", encoding="utf-8") as handle:
+            while True:
+                chunk = handle.read(chunk_size)
+                if not chunk:
+                    return
+                yield chunk
+    yield from (stdin if stdin is not None else sys.stdin)
+
+
+class _StreamedText:
+    """Grow-only text with per-span slicing and no whole-stream joins.
+
+    The text/json output formats need the characters a mapping's spans
+    cover, but re-joining every chunk seen so far on each flush would be
+    quadratic on a long tail.  This keeps the chunks as-is plus their
+    cumulative end offsets; a slice touches only the chunks it overlaps
+    (binary search + span length).  ``Span.content`` accepts it through
+    the ``.text`` duck-typing path.
+    """
+
+    def __init__(self) -> None:
+        self._parts: list[str] = []
+        self._ends: list[int] = []
+
+    def append(self, chunk: str) -> None:
+        if chunk:
+            base = self._ends[-1] if self._ends else 0
+            self._parts.append(chunk)
+            self._ends.append(base + len(chunk))
+
+    def __len__(self) -> int:
+        return self._ends[-1] if self._ends else 0
+
+    @property
+    def text(self) -> "_StreamedText":
+        return self
+
+    def __getitem__(self, key) -> str:
+        if not isinstance(key, slice) or key.step not in (None, 1):
+            raise TypeError("streamed text supports contiguous slices only")
+        begin, end, _step = key.indices(len(self))
+        index = bisect.bisect_right(self._ends, begin)
+        pieces: list[str] = []
+        position = self._ends[index - 1] if index else 0
+        while index < len(self._parts) and position < end:
+            part = self._parts[index]
+            pieces.append(part[max(0, begin - position) : end - position])
+            position += len(part)
+            index += 1
+        return "".join(pieces)
+
+
+def _run_stream(args: argparse.Namespace, out, stdin: Iterable[str] | None) -> int:
+    if args.chunk_size < 1:
+        print(
+            f"repro stream: error: --chunk-size must be positive, got {args.chunk_size}",
+            file=sys.stderr,
+        )
+        return 2
+    spanner = Spanner.from_regex(args.pattern)
+    alphabet = args.alphabet if args.alphabet is not None else DEFAULT_STREAM_ALPHABET
+    emit = "on_finish" if args.emit == "on-finish" else "incremental"
+    # Settled mappings are printed straight from feed(), so the evaluator
+    # need not keep them around for finish() — memory stays at the
+    # in-flight state on an unbounded tail.
+    evaluator = spanner.stream(alphabet=alphabet, emit=emit, retain_settled=False)
+
+    # The streamed text is retained only when the output format needs it
+    # to slice captured substrings; 'spans' runs with no retention at all.
+    retained = _StreamedText() if args.format in ("text", "json") else None
+    produced = 0
+
+    if args.limit is not None and args.limit <= 0:
+        return 0
+
+    def render(mappings) -> bool:
+        nonlocal produced
+        for mapping in mappings:
+            if args.format == "json":
+                print(
+                    json.dumps(mapping_to_dict(mapping, retained), sort_keys=True),
+                    file=out,
+                )
+            elif args.format == "spans":
+                print(mapping.paper_notation(), file=out)
+            else:
+                print(json.dumps(mapping.contents(retained), sort_keys=True), file=out)
+            produced += 1
+            if args.limit is not None and produced >= args.limit:
+                return True
+        return False
+
+    for chunk in _stream_chunks(args.document, args.chunk_size, stdin):
+        if retained is not None:
+            retained.append(chunk)
+        if render(evaluator.feed(chunk)):
+            return 0
+    result = evaluator.finish()
+    if emit == "incremental":
+        render(result.residual)
+    else:
+        render(result)
+    return 0
+
+
 def main(argv: list[str] | None = None, stdin: Iterable[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
+    try:
+        return _dispatch(args, stdin, out, parser)
+    except BrokenPipeError:
+        # Downstream closed the pipe (`repro ... | head`): the
+        # conventional quiet exit, not an error.  Point stdout at
+        # /dev/null so the interpreter's shutdown flush stays silent.
+        try:
+            devnull = os.open(os.devnull, os.O_WRONLY)
+            os.dup2(devnull, sys.stdout.fileno())
+        except OSError:
+            pass
+        return 0
+    except (ReproError, OSError, UnicodeDecodeError) as error:
+        # One line on stderr, non-zero exit, no traceback — the contract
+        # for malformed patterns, unreadable files and broken streams.
+        print(f"repro {args.command}: error: {error}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args, stdin, out, parser) -> int:
     if args.command == "batch":
         return _run_batch(args, out)
     if args.command == "explain":
         return _run_explain(args, out)
+    if args.command == "stream":
+        return _run_stream(args, out, stdin)
     document = _read_document(args.document, stdin)
     if args.command == "extract":
         return _run_extract(args, document, out)

@@ -170,6 +170,21 @@ class Document:
         self._text, self._name = state
         self._encodings = None
 
+    def iter_chunks(self, chunk_size: int) -> Iterator[str]:
+        """Yield the text in consecutive slices of at most *chunk_size* chars.
+
+        The chunk protocol of the streaming evaluator
+        (:mod:`repro.runtime.streaming`): consumers that feed chunks
+        never need the per-document encoding cache, so chunked
+        evaluation keeps peak memory at one encoded chunk instead of a
+        whole-document class-id buffer.
+        """
+        if chunk_size < 1:
+            raise ValueError(f"chunk size must be positive, got {chunk_size}")
+        text = self._text
+        for begin in range(0, len(text), chunk_size):
+            yield text[begin : begin + chunk_size]
+
     def lines(self) -> Iterator[tuple[Span, str]]:
         """Yield ``(span, line)`` pairs, one per line (newline excluded)."""
         begin = 0

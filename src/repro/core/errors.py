@@ -16,6 +16,7 @@ __all__ = [
     "ParseError",
     "ReproError",
     "SpanError",
+    "StreamingError",
 ]
 
 
@@ -60,3 +61,14 @@ class NotDeterministicError(EvaluationError):
 
 class NotFunctionalError(EvaluationError):
     """Raised when an algorithm requires a functional automaton."""
+
+
+class StreamingError(EvaluationError):
+    """Raised when a chunk-fed evaluation cannot proceed.
+
+    Covers protocol misuse (feeding a finished stream, a ``str`` chunk
+    while a partial UTF-8 sequence is pending), byte streams that end
+    inside a multi-byte sequence, and — under ``emit="incremental"`` —
+    characters outside the declared alphabet arriving *after* mappings
+    have been delivered, which such a character would retract.
+    """

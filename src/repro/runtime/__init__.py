@@ -22,6 +22,10 @@ reference implementation, organised around the
 * :func:`choose_plan` picks the engine from automaton statistics, and
   :func:`run_batch` streams many documents through one compiled automaton,
   serially or across processes;
+* :class:`StreamingEvaluator` (:mod:`repro.runtime.streaming`) feeds the
+  arena engine one chunk at a time — whole-document results on
+  :meth:`finish`, or exact incremental emission of settled mappings with
+  a compacted, bounded arena;
 * :mod:`repro.runtime.operators` holds the physical operators of hybrid
   plans — fused leaves plus hash join, merge union and arena projection
   executing the cut edges of an optimized algebra expression.
@@ -52,6 +56,12 @@ from repro.runtime.operators import (
     render_physical,
 )
 from repro.runtime.plan import ENGINE_CHOICES, ExecutionPlan, choose_plan
+from repro.runtime.streaming import (
+    StreamedResult,
+    StreamingEvaluator,
+    evaluate_streaming,
+    settled_sinks,
+)
 from repro.runtime.subset import CompiledSubsetEVA, count_subset, evaluate_subset_arena
 
 __all__ = [
@@ -68,6 +78,8 @@ __all__ = [
     "MergeUnion",
     "OperatorResult",
     "PhysicalOperator",
+    "StreamedResult",
+    "StreamingEvaluator",
     "SymbolClassing",
     "choose_plan",
     "compile_eva",
@@ -76,8 +88,10 @@ __all__ = [
     "encoding_passes",
     "evaluate_compiled",
     "evaluate_compiled_arena",
+    "evaluate_streaming",
     "evaluate_subset_arena",
     "freeze_result",
+    "settled_sinks",
     "render_physical",
     "reset_encoding_passes",
     "run_batch",

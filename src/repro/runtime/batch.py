@@ -28,6 +28,12 @@ several times in a collection, or is evaluated again by another engine
 with the same alphabet classing (a document's encoding cache is dropped at
 the pickling boundary — each worker encodes against its own tables).
 
+``streaming=True`` additionally switches the ``compiled`` engine to
+chunk-fed evaluation (:mod:`repro.runtime.streaming`): each worker feeds
+a document through the arena engine in bounded slices instead of
+encoding it whole, cutting peak memory per document to one encoded chunk
+plus the live arena — the results are array-identical.
+
 Four engines are available in both modes: ``engine="compiled"`` (the
 arena-building integer runtime over a :class:`CompiledEVA`),
 ``engine="compiled-otf"`` (the lazily determinized subset runtime over a
@@ -51,6 +57,7 @@ from repro.runtime.compiled import CompiledEVA
 from repro.runtime.dag import CompiledResultDag
 from repro.runtime.engine import EvaluationScratch, evaluate_compiled_arena
 from repro.runtime.operators import OperatorResult, PhysicalOperator
+from repro.runtime.streaming import evaluate_streaming
 from repro.runtime.subset import CompiledSubsetEVA, evaluate_subset_arena
 
 __all__ = ["run_batch", "freeze_result", "thaw_result"]
@@ -106,24 +113,32 @@ def thaw_result(portable: tuple, compiled) -> CompiledResultDag | OperatorResult
 _worker_compiled: CompiledEVA | CompiledSubsetEVA | PhysicalOperator | None = None
 _worker_scratch: EvaluationScratch | None = None
 _worker_engine: str = "compiled"
+_worker_stream_chunk: int = 0  # 0: evaluate documents whole
 
 
-def _init_worker(compiled, engine: str) -> None:
-    global _worker_compiled, _worker_scratch, _worker_engine
+def _init_worker(compiled, engine: str, stream_chunk: int = 0) -> None:
+    global _worker_compiled, _worker_scratch, _worker_engine, _worker_stream_chunk
     _worker_compiled = compiled
     _worker_scratch = (
         EvaluationScratch(compiled) if isinstance(compiled, CompiledEVA) else None
     )
     _worker_engine = engine
+    _worker_stream_chunk = stream_chunk
 
 
-def _evaluate_one(compiled, document: object, engine: str, scratch):
+def _evaluate_one(compiled, document: object, engine: str, scratch, stream_chunk: int = 0):
     if engine == "hybrid":
         return compiled.execute(document)
     if engine == "reference":
         return reference_evaluate(compiled.source, document, check_determinism=False)
     if engine == "compiled-otf":
         return evaluate_subset_arena(compiled, document)
+    if stream_chunk:
+        # Chunk-fed evaluation: same arena, array for array, but peak
+        # memory is one encoded chunk instead of a whole-document buffer.
+        return evaluate_streaming(
+            compiled, document, chunk_size=stream_chunk, scratch=scratch
+        )
     return evaluate_compiled_arena(compiled, document, scratch=scratch)
 
 
@@ -132,7 +147,9 @@ def _process_chunk(chunk: list[tuple[object, object]]) -> list[tuple[object, tup
     assert compiled is not None, "worker pool used before initialization"
     out = []
     for doc_id, document in chunk:
-        result = _evaluate_one(compiled, document, _worker_engine, _worker_scratch)
+        result = _evaluate_one(
+            compiled, document, _worker_engine, _worker_scratch, _worker_stream_chunk
+        )
         out.append((doc_id, freeze_result(result, compiled)))
     return out
 
@@ -171,6 +188,8 @@ def run_batch(
     engine: str = "compiled",
     chunk_size: int = 16,
     max_workers: int | None = None,
+    streaming: bool = False,
+    stream_chunk_size: int = 65536,
 ) -> Iterator[tuple[object, ResultDag | CompiledResultDag | OperatorResult]]:
     """Evaluate *compiled* over every document, streaming the results.
 
@@ -194,6 +213,14 @@ def run_batch(
         Documents per worker task in process mode (ignored when serial).
     max_workers:
         Pool size in process mode; defaults to ``os.cpu_count()``.
+    streaming:
+        Feed each document to the engine in ``stream_chunk_size``-character
+        slices through :func:`~repro.runtime.streaming.evaluate_streaming`
+        instead of evaluating it whole.  Only ``engine="compiled"``
+        streams; results are array-identical to whole-document arenas,
+        but no whole-document class-id buffer is materialized.
+    stream_chunk_size:
+        Characters per streaming slice (ignored unless *streaming*).
 
     Yields
     ------
@@ -229,8 +256,20 @@ def run_batch(
         raise ValueError(
             f"engine={engine!r} cannot run a physical operator tree"
         )
+    if streaming and engine != "compiled":
+        raise ValueError(
+            f"engine={engine!r} cannot evaluate chunk-fed documents; "
+            "streaming batches run the compiled engine"
+        )
+    if streaming and stream_chunk_size < 1:
+        raise ValueError(
+            f"stream_chunk_size must be positive, got {stream_chunk_size}"
+        )
     collection = DocumentCollection.coerce(documents)
-    return _stream_batch(compiled, collection, mode, engine, chunk_size, max_workers)
+    stream_chunk = stream_chunk_size if streaming else 0
+    return _stream_batch(
+        compiled, collection, mode, engine, chunk_size, max_workers, stream_chunk
+    )
 
 
 def _stream_batch(
@@ -240,6 +279,7 @@ def _stream_batch(
     engine: str,
     chunk_size: int,
     max_workers: int | None,
+    stream_chunk: int,
 ) -> Iterator[tuple[object, ResultDag | CompiledResultDag | OperatorResult]]:
     pairs = _pairs_of(collection)
 
@@ -248,12 +288,14 @@ def _stream_batch(
             EvaluationScratch(compiled) if isinstance(compiled, CompiledEVA) else None
         )
         for doc_id, document in pairs:
-            yield doc_id, _evaluate_one(compiled, document, engine, scratch)
+            yield doc_id, _evaluate_one(compiled, document, engine, scratch, stream_chunk)
         return
 
     context = multiprocessing.get_context()
     pool = context.Pool(
-        processes=max_workers, initializer=_init_worker, initargs=(compiled, engine)
+        processes=max_workers,
+        initializer=_init_worker,
+        initargs=(compiled, engine, stream_chunk),
     )
     try:
         for chunk_result in pool.imap(_process_chunk, _chunked(pairs, chunk_size)):

@@ -31,6 +31,12 @@ run:
     whose fused leaves each run their own compiled engine while join /
     union / projection cut edges execute on the result arenas.
 
+Plans additionally carry a ``streaming`` flag: a streaming plan feeds
+documents chunk by chunk through
+:class:`~repro.runtime.streaming.StreamingEvaluator` instead of handing a
+whole document to an engine.  Streaming always runs ``compiled`` — see
+:func:`choose_plan`.
+
 :func:`choose_plan` implements the ``auto`` policy from an automaton's
 :class:`~repro.automata.analysis.AutomatonStatistics` (measured on the
 *sequential*, pre-determinization automaton): already-deterministic inputs
@@ -84,6 +90,7 @@ class ExecutionPlan:
     determinize_upfront: bool
     reason: str
     operators: object | None = None
+    streaming: bool = False
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINE_CHOICES or self.engine == "auto":
@@ -99,6 +106,11 @@ class ExecutionPlan:
             raise ValueError(
                 f"engine {self.engine!r} does not execute a physical operator tree"
             )
+        if self.streaming and self.engine != "compiled":
+            raise ValueError(
+                f"engine {self.engine!r} cannot evaluate chunk-fed documents; "
+                "streaming plans run the dense-table compiled engine"
+            )
 
 
 def choose_plan(
@@ -106,6 +118,7 @@ def choose_plan(
     *,
     engine: str = "auto",
     otf_state_threshold: int = DEFAULT_OTF_STATE_THRESHOLD,
+    streaming: bool = False,
 ) -> ExecutionPlan:
     """Resolve *engine* into an :class:`ExecutionPlan`.
 
@@ -113,10 +126,31 @@ def choose_plan(
     automaton and carry its ``deterministic`` flag; it is only consulted
     (and only required) when *engine* is ``"auto"``.  A concrete *engine*
     is honoured as-is.
+
+    With ``streaming=True`` the plan evaluates chunk-fed documents
+    through :class:`~repro.runtime.streaming.StreamingEvaluator`.  Only
+    the dense-table ``compiled`` engine can stream: the settled-sink
+    analysis behind incremental emission needs the full class table up
+    front, which a lazily determinized runtime discovers only as
+    documents drive it.  ``auto`` therefore resolves to ``compiled``
+    without consulting *stats*, and any other engine is rejected.
     """
     if engine not in ENGINE_CHOICES:
         raise ValueError(
             f"unknown engine {engine!r}; expected one of {ENGINE_CHOICES}"
+        )
+    if streaming:
+        if engine not in ("auto", "compiled"):
+            raise ValueError(
+                f"engine {engine!r} cannot evaluate chunk-fed documents; "
+                "streaming supports engine='compiled' (or 'auto')"
+            )
+        return ExecutionPlan(
+            "compiled",
+            True,
+            "streaming: chunk-fed evaluation needs the dense tables "
+            "(and their settled-sink analysis) up front",
+            streaming=True,
         )
     if engine == "hybrid":
         raise ValueError(

@@ -70,6 +70,7 @@ from repro.runtime.engine import (
     evaluate_compiled_arena,
 )
 from repro.runtime.plan import ENGINE_CHOICES, ExecutionPlan, choose_plan
+from repro.runtime.streaming import StreamingEvaluator
 from repro.runtime.subset import CompiledSubsetEVA, count_subset, evaluate_subset_arena
 from repro.spanners.pipeline import CompilationPipeline, CompilationReport
 
@@ -323,6 +324,24 @@ class Spanner:
             state.optimized.physical.prepare(self._pipeline.base_alphabet | key)
         return state.optimized
 
+    def _reject_hybrid_streaming(self, key: frozenset[str]) -> None:
+        """Refuse to stream an expression whose plan must be hybrid.
+
+        When the optimizer cuts the expression tree, the monolithic
+        fused automaton is not a sound substitute (joins over
+        non-provably-functional operands silently lose mappings — the
+        very reason hybrid plans exist), so streaming cannot quietly
+        fall back to it the way whole-document evaluation never would.
+        """
+        if not isinstance(self._pipeline.source, SpannerExpression):
+            return
+        if self._optimized_for_key(key).is_hybrid:
+            raise ValueError(
+                "this expression optimizes to a hybrid operator plan, which "
+                "cannot evaluate chunk-fed documents; evaluate whole "
+                "documents (engine='hybrid'/'auto') instead"
+            )
+
     def _plan_for_key(self, key: frozenset[str], engine: str | None) -> ExecutionPlan:
         engine = self._engine if engine is None else engine
         if engine not in ENGINE_CHOICES:
@@ -404,6 +423,52 @@ class Spanner:
         """Return the full list of output mappings."""
         return list(self.enumerate(document, engine=engine))
 
+    def stream(
+        self,
+        *,
+        alphabet: Iterable[str] = (),
+        emit: str = "on_finish",
+        engine: str | None = None,
+        fast_path: bool = True,
+        retain_settled: bool = True,
+    ) -> StreamingEvaluator:
+        """Open a chunk-fed evaluation of one document.
+
+        Returns a :class:`~repro.runtime.streaming.StreamingEvaluator`:
+        ``feed()`` it ``str`` or ``bytes`` chunks as they arrive and
+        ``finish()`` it at end of stream.  Because the document is not
+        known up front, wildcard patterns compile over *alphabet* (plus
+        the spanner's base alphabet) instead of the document's own
+        characters — declare every character the stream may carry.
+        Characters outside it kill every run (the compiled engines'
+        semantics); under ``emit="incremental"`` they raise once
+        mappings have been delivered, since delivery cannot be
+        retracted.  The plan layer resolves the engine with
+        ``streaming=True`` — only ``"compiled"`` (or ``"auto"``) can
+        stream.
+        """
+        plan = choose_plan(
+            engine=self._engine if engine is None else engine, streaming=True
+        )
+        assert plan.streaming and plan.engine == "compiled"
+        if self._pipeline.source_needs_alphabet():
+            key = frozenset(alphabet)
+        else:
+            key = frozenset()
+        self._reject_hybrid_streaming(key)
+        # A stream holds its evaluator state across feeds, so it gets a
+        # private scratch: the per-alphabet cached scratch may be
+        # borrowed by interleaved enumerate/count calls meanwhile.
+        # ``retain_settled=False`` keeps an unbounded tail's memory at
+        # the in-flight state: feed() still returns settled mappings,
+        # finish() just doesn't replay them.
+        return StreamingEvaluator(
+            self._runtime_for_key(key),
+            emit=emit,
+            fast_path=fast_path,
+            retain_settled=retain_settled,
+        )
+
     def run_batch(
         self,
         documents: DocumentCollection | Iterable[object],
@@ -412,6 +477,8 @@ class Spanner:
         engine: str | None = None,
         chunk_size: int = 16,
         max_workers: int | None = None,
+        streaming: bool = False,
+        stream_chunk_size: int = 65536,
     ) -> Iterator[tuple[object, object]]:
         """Evaluate the spanner over many documents, compiling exactly once.
 
@@ -425,13 +492,27 @@ class Spanner:
         the planner exactly as for single documents; ``"compiled-otf"``
         reuses one :class:`CompiledSubsetEVA` across the whole batch, so
         subset rows discovered on one document are cache hits on the next.
+
+        With ``streaming=True`` every document is fed to the compiled
+        engine in ``stream_chunk_size``-character slices through the
+        chunk-fed evaluator instead of being evaluated whole: results
+        are identical (the streaming ``on_finish`` arena is array-equal
+        to the whole-document one), but no whole-document class-id
+        buffer is ever materialized, cutting each worker's peak memory
+        to one encoded chunk plus the live arena.
         """
         documents = DocumentCollection.coerce(documents)
         if self._pipeline.source_needs_alphabet():
             key = documents.alphabet()
         else:
             key = frozenset()
-        plan = self._plan_for_key(key, engine)
+        if streaming:
+            plan = choose_plan(
+                engine=self._engine if engine is None else engine, streaming=True
+            )
+            self._reject_hybrid_streaming(key)
+        else:
+            plan = self._plan_for_key(key, engine)
         if plan.engine == "hybrid":
             compiled: object = plan.operators
         elif plan.engine == "compiled-otf":
@@ -445,6 +526,8 @@ class Spanner:
             engine=plan.engine,
             chunk_size=chunk_size,
             max_workers=max_workers,
+            streaming=plan.streaming,
+            stream_chunk_size=stream_chunk_size,
         )
 
     def count(self, document: object, *, engine: str | None = None) -> int:

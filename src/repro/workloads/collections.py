@@ -25,6 +25,7 @@ from repro.workloads.spanners import contact_pattern, join_heavy_expression
 __all__ = [
     "NESTED_PATTERN",
     "BatchScenario",
+    "chunked_document",
     "contact_collection",
     "dna_collection",
     "join_heavy_collection",
@@ -34,6 +35,7 @@ __all__ = [
     "scenario",
     "scenario_names",
     "sparse_log_collection",
+    "tailing_log_collection",
 ]
 
 
@@ -121,6 +123,54 @@ def sparse_log_collection(
             doc_id=f"sparse-log-{index}",
         )
     return collection
+
+
+def tailing_log_collection(
+    num_documents: int,
+    lines_per_document: int = 4000,
+    seed: int = 0,
+    error_rate: float = 0.03,
+) -> DocumentCollection:
+    """Long logs consumed as a stream — the chunk-fed evaluation workload.
+
+    Like :func:`sparse_log_collection`, matches are rare enough that the
+    quiescent sprint dominates, but the error rate is tuned so each
+    document carries on the order of a hundred matches: enough that the
+    whole-document arena is visibly larger than the streaming
+    evaluator's compacted buffer, which is exactly what the
+    bounded-buffering property and ``bench_streaming.py`` measure.  Feed
+    the documents through :func:`chunked_document` to simulate a tail.
+    """
+    collection = DocumentCollection(name="tailing-logs")
+    for index in range(num_documents):
+        collection.add(
+            server_log(
+                lines_per_document,
+                seed=seed + index,
+                error_rate=error_rate,
+                levels=("INFO", "WARN"),
+            ),
+            doc_id=f"tail-log-{index}",
+        )
+    return collection
+
+
+def chunked_document(document, chunk_size: int = 4096):
+    """Yield *document* as a stream of text chunks (the tailing simulator).
+
+    A thin, workload-level wrapper over
+    :meth:`~repro.core.documents.Document.iter_chunks` that also accepts
+    plain strings, so benchmark and test code can chunk-feed whatever a
+    scenario hands it.
+    """
+    chunks = getattr(document, "iter_chunks", None)
+    if chunks is not None:
+        yield from chunks(chunk_size)
+        return
+    if chunk_size < 1:
+        raise ValueError(f"chunk size must be positive, got {chunk_size}")
+    for begin in range(0, len(document), chunk_size):
+        yield document[begin : begin + chunk_size]
 
 
 def dna_collection(
@@ -215,6 +265,14 @@ def scenario(name: str, num_documents: int = 8, scale: int | None = None, seed: 
                 num_documents, scale if scale is not None else 2000, seed
             ),
         )
+    if name == "tailing-logs":
+        return BatchScenario(
+            name,
+            r".*ERROR worker-w{[0-9]} .*",
+            tailing_log_collection(
+                num_documents, scale if scale is not None else 4000, seed
+            ),
+        )
     if name == "dna":
         return BatchScenario(
             name,
@@ -251,6 +309,7 @@ def scenario_names() -> tuple[str, ...]:
         "contacts",
         "logs",
         "sparse-logs",
+        "tailing-logs",
         "dna",
         "random",
         "nested",

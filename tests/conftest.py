@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import os
+import sys
+
 import pytest
 
 from repro.automata.transforms import to_deterministic_sequential_eva
@@ -12,6 +15,11 @@ from repro.workloads.spanners import (
     figure3_eva,
     proposition42_va,
 )
+
+# Make the shared differential-testing harness (tests/harness.py)
+# importable as `import harness` from every test package, with or
+# without __init__.py files.
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 
 @pytest.fixture

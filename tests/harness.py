@@ -1,0 +1,195 @@
+"""The reusable cross-engine differential-testing harness.
+
+One call — :func:`assert_all_engines_agree` — pins every evaluation route
+of the library against each other on one ``(spanner, document)`` pair:
+
+* the facade engines (``reference``, ``compiled``, ``compiled-otf``) plus
+  the ``auto`` plan, for both enumeration and counting;
+* the chunk-fed :class:`~repro.runtime.streaming.StreamingEvaluator`, in
+  **both** emit modes, over a seeded adversarial set of chunkings of the
+  same document: whole-document, one-character chunks, empty chunks
+  interspersed, random seeded splits, and UTF-8 byte streams split
+  *inside* multi-byte sequences.
+
+The streaming evaluator is opened over the document's own alphabet —
+exactly the alphabet key the facade derives for whole-document
+evaluation — so the comparison is engine-vs-engine on one compiled
+automaton, and characters that are foreign *to the pattern* (the
+adversarial corpus plants them at chunk boundaries) exercise the wildcard
+expansion rather than killing the stream.
+
+:func:`adversarial_documents` is the seeded document corpus used by the
+deterministic streaming tests: multi-byte runs around chunk boundaries,
+characters outside the pattern alphabet, empty documents and single
+characters.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import Spanner, StreamingError
+from repro.core.documents import as_text
+
+__all__ = [
+    "FACADE_ENGINES",
+    "adversarial_chunkings",
+    "adversarial_documents",
+    "assert_all_engines_agree",
+    "facade_results",
+]
+
+#: The monolithic engines reachable through the facade's ``engine=`` knob.
+FACADE_ENGINES = ("reference", "compiled", "compiled-otf")
+
+
+def adversarial_chunkings(text: str, seed: int = 0, random_splits: int = 2):
+    """Yield ``(label, chunks)`` pairs covering the nasty chunk shapes.
+
+    Every chunking concatenates back to *text*.  ``bytes`` chunkings
+    split the UTF-8 encoding at positions chosen to land *inside*
+    multi-byte sequences whenever the text has any, so the streaming
+    evaluator's incremental decoder is exercised on every call.
+    """
+    yield "whole", [text]
+    yield "single-chars", list(text)
+    yield "empty-interspersed", [piece for char in text for piece in ("", char)] + [""]
+
+    rng = random.Random(seed)
+    for trial in range(random_splits):
+        chunks = []
+        begin = 0
+        while begin < len(text):
+            end = min(len(text), begin + rng.randint(1, max(1, len(text) // 2)))
+            chunks.append(text[begin:end])
+            begin = end
+        yield f"random-{trial}", chunks or [""]
+
+    raw = text.encode("utf-8")
+    if len(raw) != len(text):
+        # Multi-byte characters present: cut every byte apart, which is
+        # guaranteed to split inside each multi-byte sequence.
+        yield "bytes-single", [raw[i : i + 1] for i in range(len(raw))]
+        cut = rng.randint(1, max(1, len(raw) - 1)) if len(raw) > 1 else 1
+        yield "bytes-split", [raw[:cut], raw[cut:]]
+    elif raw:
+        yield "bytes-whole", [raw]
+
+
+def adversarial_documents(seed: int = 0) -> list[str]:
+    """The seeded corpus of streaming-hostile documents.
+
+    Mixes the two-letter pattern alphabet with characters the patterns
+    never mention (an accented letter, a low codepoint, an astral-plane
+    emoji) so that wildcard expansion, the foreign-class machinery and
+    multi-byte chunk splits are all on the table.
+    """
+    rng = random.Random(seed)
+    corpus = [
+        "",
+        "a",
+        "é",
+        "ab" * 3,
+        "aéb",
+        "a\x00b",
+        "ab\U0001f600ba",
+        "éé" + "ab" * 2 + "é",
+    ]
+    alphabet = "abé\x00"
+    for _ in range(4):
+        corpus.append(
+            "".join(rng.choice(alphabet) for _ in range(rng.randint(1, 8)))
+        )
+    return corpus
+
+
+def _mapping_set(mappings) -> frozenset[str]:
+    return frozenset(str(mapping) for mapping in mappings)
+
+
+def facade_results(spanner: Spanner, text: str) -> dict[str, frozenset[str]]:
+    """The mapping set per facade engine (plus the ``auto`` plan)."""
+    results = {"auto": _mapping_set(spanner.evaluate(text))}
+    for engine in FACADE_ENGINES:
+        results[engine] = _mapping_set(spanner.evaluate(text, engine=engine))
+    return results
+
+
+def assert_all_engines_agree(
+    spanner_spec,
+    document,
+    *,
+    seed: int = 0,
+    streaming: bool = True,
+    spanner: Spanner | None = None,
+) -> frozenset[str]:
+    """Assert every engine and every chunking yields one mapping set.
+
+    *spanner_spec* is anything :class:`Spanner` accepts (pattern text,
+    regex AST, VA, eVA); pass a prebuilt *spanner* instead to reuse its
+    compilation cache across calls.  Returns the agreed mapping set, so
+    callers can additionally compare it against an external oracle (the
+    reference regex semantics, a baseline enumerator, ...).
+    """
+    if spanner is None:
+        spanner = Spanner(spanner_spec)
+    text = as_text(document)
+
+    results = facade_results(spanner, text)
+    expected = results["compiled"]
+    counts = {
+        engine: spanner.count(text, engine=engine) for engine in FACADE_ENGINES
+    }
+    counts["auto"] = spanner.count(text)
+    for engine, mapping_set in results.items():
+        assert mapping_set == expected, (
+            f"engine {engine!r} disagrees with 'compiled': "
+            f"{sorted(mapping_set) } != {sorted(expected)}"
+        )
+    for engine, count in counts.items():
+        assert count == len(expected), (
+            f"count({engine!r}) = {count}, enumeration found {len(expected)}"
+        )
+
+    if not streaming:
+        return expected
+
+    # Stream over the document's own alphabet — the same key the facade
+    # used above, so every route runs one compiled automaton.  Characters
+    # the compiled classing still treats as foreign (possible when the
+    # pattern has no wildcard: compilation then ignores the declared
+    # alphabet) kill every run, so the whole-document output is empty —
+    # and incremental mode is allowed to raise instead *if* it already
+    # delivered mappings it would now have to retract.
+    alphabet = frozenset(text)
+    foreign = alphabet - set(spanner.runtime(text).classing.symbols)
+    for emit in ("on_finish", "incremental"):
+        for label, chunks in adversarial_chunkings(text, seed=seed):
+            evaluator = spanner.stream(alphabet=alphabet, emit=emit)
+            fed = []
+            try:
+                for chunk in chunks:
+                    fed.extend(evaluator.feed(chunk))
+            except StreamingError:
+                assert emit == "incremental", (
+                    f"emit='on_finish' must never raise (chunking {label!r})"
+                )
+                assert foreign and fed and not expected, (
+                    f"chunking {label!r} raised without a delivered-then-"
+                    "retracted conflict (the only legitimate reason)"
+                )
+                continue
+            result = evaluator.finish()
+            got = _mapping_set(result)
+            assert got == expected, (
+                f"streaming emit={emit!r} chunking={label!r} disagrees: "
+                f"{sorted(got)} != {sorted(expected)}"
+            )
+            assert result.count() == len(expected), (
+                f"streaming emit={emit!r} chunking={label!r} count mismatch"
+            )
+            if emit == "incremental":
+                assert _mapping_set(fed) <= expected, (
+                    f"chunking {label!r} flushed a mapping outside the output"
+                )
+    return expected

@@ -131,6 +131,104 @@ class TestBatch:
         assert "batch" in build_parser().format_help()
 
 
+class TestStream:
+    @pytest.fixture
+    def log_path(self, tmp_path):
+        path = tmp_path / "app.log"
+        path.write_text(
+            "boot ok\nERROR worker-3 timeout\nall quiet\nERROR worker-7 reset\n",
+            encoding="utf-8",
+        )
+        return str(path)
+
+    def test_stream_matches_extract(self, log_path):
+        pattern = r".*ERROR worker-w{[0-9]} .*"
+        code, streamed = run_cli(["stream", pattern, log_path, "--chunk-size", "5"])
+        assert code == 0
+        extract_code, extracted = run_cli(["extract", pattern, log_path])
+        assert extract_code == 0
+        assert sorted(streamed.splitlines()) == sorted(extracted.splitlines())
+        assert {json.loads(line)["w"] for line in streamed.splitlines()} == {"3", "7"}
+
+    def test_on_finish_mode(self, log_path):
+        pattern = r".*ERROR worker-w{[0-9]} .*"
+        code, output = run_cli(
+            ["stream", pattern, log_path, "--emit", "on-finish", "--chunk-size", "7"]
+        )
+        assert code == 0
+        assert len(output.splitlines()) == 2
+
+    def test_reads_stdin_line_by_line(self):
+        code, output = run_cli(
+            ["stream", r".*ERROR worker-w{[0-9]} .*"],
+            stdin=["quiet\n", "ERROR worker-5 boom\n", "quiet\n"],
+        )
+        assert code == 0
+        assert json.loads(output.strip()) == {"w": "5"}
+
+    def test_spans_format_and_limit(self, log_path):
+        code, output = run_cli(
+            ["stream", r".*ERROR worker-w{[0-9]} .*", log_path,
+             "--format", "spans", "--limit", "1"]
+        )
+        assert code == 0
+        assert len(output.strip().splitlines()) == 1
+        assert "⟩" in output
+
+    def test_bad_chunk_size(self, log_path, capsys):
+        code, _output = run_cli(
+            ["stream", "x{a}", log_path, "--chunk-size", "0"]
+        )
+        assert code == 2
+        assert "--chunk-size" in capsys.readouterr().err
+
+
+class TestOneLineErrors:
+    """Malformed patterns and missing files: one stderr line, no traceback."""
+
+    MALFORMED = "x{[unclosed"
+
+    def assert_one_line_error(self, capsys, code, command):
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1, f"expected one line, got: {err!r}"
+        assert err.startswith(f"repro {command}: error:")
+        assert "Traceback" not in err
+
+    @pytest.mark.parametrize("command", ["extract", "count", "stream"])
+    def test_malformed_pattern(self, command, capsys):
+        code, _output = run_cli([command, self.MALFORMED], stdin=["abc"])
+        self.assert_one_line_error(capsys, code, command)
+
+    def test_malformed_pattern_batch(self, tmp_path, capsys):
+        path = tmp_path / "doc.txt"
+        path.write_text("abc", encoding="utf-8")
+        code, _output = run_cli(["batch", self.MALFORMED, str(path)])
+        self.assert_one_line_error(capsys, code, "batch")
+
+    @pytest.mark.parametrize("command", ["extract", "count", "stream"])
+    def test_missing_file(self, command, capsys):
+        code, _output = run_cli([command, "x{a}", "/definitely/not/here.txt"])
+        self.assert_one_line_error(capsys, code, command)
+
+    def test_missing_file_batch(self, capsys):
+        code, _output = run_cli(["batch", "x{a}", "/definitely/not/here.txt"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error" in err and "Traceback" not in err
+
+    def test_stream_foreign_char_after_delivery_is_one_line(self, tmp_path, capsys):
+        # 'é' is outside the default printable-ASCII stream alphabet; it
+        # arrives after the first match settled, so incremental mode must
+        # refuse — as a clean CLI error, not a traceback.
+        path = tmp_path / "doc.txt"
+        path.write_text("ERROR worker-1 x\né\n", encoding="utf-8")
+        code, _output = run_cli(
+            ["stream", r".*ERROR worker-w{[0-9]} .*", str(path), "--chunk-size", "17"]
+        )
+        self.assert_one_line_error(capsys, code, "stream")
+
+
 class TestExplain:
     def test_single_pattern_plan(self):
         code, output = run_cli(["explain", "x{a+}b"])
