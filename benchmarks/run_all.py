@@ -1,23 +1,24 @@
-"""Run the benchmark suite, gate it, and emit the BENCH_5.json snapshot.
+"""Run the benchmark suite, gate it, and emit the BENCH_6.json snapshot.
 
 One entry point for everything CI (and a developer refreshing baselines)
 needs:
 
-1. run the four report-producing benchmarks (``bench_batch.py``,
-   ``bench_enumerate.py``, ``bench_algebra.py``, ``bench_streaming.py``),
-   in smoke mode by default;
+1. run the five report-producing benchmarks (``bench_batch.py``,
+   ``bench_enumerate.py``, ``bench_algebra.py``, ``bench_streaming.py``,
+   ``bench_serve.py``), in smoke mode by default;
 2. gate every report against its committed baseline with
    ``check_regression.py`` (ratio tolerance plus the absolute floors the
    acceptance criteria pin — including the streaming first-result-latency
-   and peak-buffer floors);
-3. write a consolidated perf-trajectory snapshot — ``BENCH_5.json`` at the
+   and peak-buffer floors, and the serving throughput / p99-budget /
+   plan-cache-hit-ratio floors);
+3. write a consolidated perf-trajectory snapshot — ``BENCH_6.json`` at the
    repository root — containing only the machine-portable ratio metrics of
    every workload, so the repo history carries one comparable perf number
    set per PR.
 
 Usage::
 
-    python benchmarks/run_all.py [--full] [--skip-gates] [--output BENCH_5.json]
+    python benchmarks/run_all.py [--full] [--skip-gates] [--output BENCH_6.json]
 
 ``--full`` runs the full-size workloads instead of the CI smokes (and
 skips the gates: the committed baselines are smoke-sized, so comparing
@@ -86,6 +87,25 @@ SUITE = [
             "speedup_streaming_throughput_vs_arena=0.5",
         ],
     ),
+    (
+        "bench_serve.py",
+        "serve_report.json",
+        os.path.join("baselines", "serve_smoke.json"),
+        # The serving acceptance criteria: the p99 request latency must
+        # stay inside the committed budget, throughput must not collapse
+        # (the smoke drives 50 concurrent sessions, so 20 req/s is a
+        # generous floor even on a one-core runner), and the shared plan
+        # cache must actually share — 50 sessions on one pattern sit at
+        # a 0.98 hit ratio, so 0.5 only fails if sharing breaks.
+        [
+            "--min-speedup",
+            "speedup_p99_vs_budget=1.0",
+            "--min-speedup",
+            "requests_per_second=20.0",
+            "--min-speedup",
+            "plan_cache_hit_ratio=0.5",
+        ],
+    ),
 ]
 
 
@@ -132,13 +152,13 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output",
         default=None,
-        help="path of the consolidated snapshot (default: BENCH_5.json at the "
-        "repo root for smoke runs, BENCH_5_full.json for --full so a local "
+        help="path of the consolidated snapshot (default: BENCH_6.json at the "
+        "repo root for smoke runs, BENCH_6_full.json for --full so a local "
         "full-size run never overwrites the committed smoke trajectory)",
     )
     args = parser.parse_args(argv)
     if args.output is None:
-        name = "BENCH_5_full.json" if args.full else "BENCH_5.json"
+        name = "BENCH_6_full.json" if args.full else "BENCH_6.json"
         args.output = os.path.join(REPO_ROOT, name)
 
     mode_args = [] if args.full else ["--smoke"]
@@ -150,7 +170,7 @@ def main(argv=None) -> int:
         print("note: --full skips the regression gates (baselines are smoke-sized)")
     failures: list[str] = []
     snapshot = {
-        "pr": 5,
+        "pr": 6,
         "smoke": not args.full,
         "cpu_count": os.cpu_count(),
         "benchmarks": {},

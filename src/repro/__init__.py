@@ -16,9 +16,11 @@ Riveros, Ugarte, Vansummeren and Vrgoč, 2018).  It provides:
 * baseline enumeration algorithms used for comparison
   (:mod:`repro.baselines`),
 * a high level :class:`~repro.spanners.Spanner` facade
-  (:mod:`repro.spanners`), and
+  (:mod:`repro.spanners`),
 * synthetic workload generators used by the benchmark harness
-  (:mod:`repro.workloads`).
+  (:mod:`repro.workloads`), and
+* a long-lived asyncio extraction service with a shared plan cache,
+  admission control and ``/metrics`` (:mod:`repro.server`, ``repro serve``).
 
 Quickstart
 ----------
@@ -43,7 +45,13 @@ from repro.core.mappings import Mapping
 from repro.core.spans import Span
 from repro.spanners.spanner import Spanner
 
+# After the facade import the runtime package is fully initialized, so
+# this is a plain attribute lookup (importing it first would enter the
+# runtime ↔ algebra import cycle through the wrong door).
+from repro.runtime.plan import CacheStats, PlanCache  # noqa: E402
+
 __all__ = [
+    "CacheStats",
     "CompilationError",
     "Document",
     "DocumentCollection",
@@ -51,6 +59,7 @@ __all__ = [
     "Mapping",
     "NotDeterministicError",
     "NotSequentialError",
+    "PlanCache",
     "ReproError",
     "Span",
     "SpanError",

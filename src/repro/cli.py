@@ -1,6 +1,6 @@
 """Command line interface: ``python -m repro``.
 
-Six subcommands expose the library's main operations on files (or stdin):
+Seven subcommands expose the library's main operations on files (or stdin):
 
 ``extract``
     Evaluate a regex-formula spanner over a document and print one line per
@@ -35,9 +35,17 @@ Six subcommands expose the library's main operations on files (or stdin):
     Because the document is not known up front, wildcards expand over
     ``--alphabet`` (printable ASCII plus whitespace by default).
 
-Every command reports malformed patterns, unreadable files and streaming
-protocol errors as a one-line message on stderr with a non-zero exit
-code — no tracebacks.
+``serve``
+    The long-lived multi-tenant extraction service
+    (:mod:`repro.server`): an asyncio HTTP front-end where every
+    connection opens a (pattern, alphabet, emit-mode) session, feeds
+    document chunks as NDJSON events and receives mappings back
+    incrementally, with a shared plan cache, admission control and a
+    ``/metrics`` endpoint.
+
+Every command reports malformed patterns, unreadable files, bind
+failures and streaming protocol errors as a one-line message on stderr
+with a non-zero exit code — no tracebacks.
 """
 
 from __future__ import annotations
@@ -215,6 +223,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stream.add_argument(
         "--limit", type=int, default=None, help="stop after this many mappings"
+    )
+
+    serve = subparsers.add_parser(
+        "serve", help="run the multi-tenant async extraction service"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8765, help="bind port (0 picks an ephemeral one)"
+    )
+    serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=64,
+        help="cap on concurrently open sessions; past it, opens get HTTP 429",
+    )
+    serve.add_argument(
+        "--plan-cache-size",
+        type=int,
+        default=32,
+        help="bound of the shared (pattern, alphabet) -> compiled-plan cache",
+    )
+    serve.add_argument(
+        "--max-session-bytes",
+        type=int,
+        default=64 * 1024 * 1024,
+        help="per-session cap on fed document bytes (0 disables the cap)",
+    )
+    serve.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=30.0,
+        help="seconds a session may sit idle between events before it is closed",
+    )
+    serve.add_argument(
+        "--alphabet",
+        default=None,
+        help="default declared alphabet for sessions that omit one "
+        "(default: printable ASCII plus whitespace)",
+    )
+    serve.add_argument(
+        "--warm",
+        action="append",
+        default=[],
+        metavar="PATTERN",
+        help="precompile a pattern into the shared plan cache at boot "
+        "(repeatable; malformed patterns abort with a one-line error)",
     )
 
     return parser
@@ -442,6 +496,47 @@ def _run_stream(args: argparse.Namespace, out, stdin: Iterable[str] | None) -> i
     return 0
 
 
+def _run_serve(args: argparse.Namespace, out) -> int:
+    import asyncio
+
+    from repro.server import ServerConfig, SpannerService, serve_forever
+
+    try:
+        config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            max_sessions=args.max_sessions,
+            plan_cache_size=args.plan_cache_size,
+            max_session_bytes=args.max_session_bytes,
+            idle_timeout=args.idle_timeout,
+            default_alphabet=(
+                args.alphabet if args.alphabet is not None else DEFAULT_STREAM_ALPHABET
+            ),
+        )
+    except ValueError as error:
+        print(f"repro serve: error: {error}", file=sys.stderr)
+        return 2
+    service = SpannerService(config)
+    # Warm-up patterns compile before the socket binds; a malformed one
+    # propagates to main()'s one-line-stderr handler like any other
+    # ReproError.
+    for pattern in args.warm:
+        service.warm(pattern)
+
+    def announce(server) -> None:
+        print(
+            f"repro serve: listening on http://{config.host}:{server.port}",
+            file=out,
+            flush=True,
+        )
+
+    try:
+        asyncio.run(serve_forever(config, service=service, ready=announce))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def main(argv: list[str] | None = None, stdin: Iterable[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
@@ -473,6 +568,8 @@ def _dispatch(args, stdin, out, parser) -> int:
         return _run_explain(args, out)
     if args.command == "stream":
         return _run_stream(args, out, stdin)
+    if args.command == "serve":
+        return _run_serve(args, out)
     document = _read_document(args.document, stdin)
     if args.command == "extract":
         return _run_extract(args, document, out)

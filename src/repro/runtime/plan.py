@@ -37,6 +37,16 @@ documents chunk by chunk through
 whole document to an engine.  Streaming always runs ``compiled`` — see
 :func:`choose_plan`.
 
+The module also hosts :class:`PlanCache` — the shared, size-bounded,
+thread-safe LRU over compilation artifacts.  It generalizes what used to
+be a private ``OrderedDict`` inside the :class:`~repro.spanners.Spanner`
+facade: the facade keeps one per-instance cache of per-alphabet
+compilation states, while the server front-end
+(:mod:`repro.server`) keeps one *shared* cache of pattern→compiled-plan
+entries across every connection.  Both report hit/miss/eviction counters
+through :meth:`PlanCache.stats`, which is what the server's ``/metrics``
+endpoint exposes as the plan-cache hit ratio.
+
 :func:`choose_plan` implements the ``auto`` policy from an automaton's
 :class:`~repro.automata.analysis.AutomatonStatistics` (measured on the
 *sequential*, pre-determinization automaton): already-deterministic inputs
@@ -54,11 +64,20 @@ planner never has to trade engines against re-translation cost.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Callable, Generic, Hashable, TypeVar
 
 from repro.automata.analysis import AutomatonStatistics
 
-__all__ = ["ENGINE_CHOICES", "ExecutionPlan", "choose_plan"]
+__all__ = [
+    "ENGINE_CHOICES",
+    "CacheStats",
+    "ExecutionPlan",
+    "PlanCache",
+    "choose_plan",
+]
 
 #: Engine names accepted by the facade and the CLI; ``auto`` resolves to a
 #: concrete engine through :func:`choose_plan`.  ``hybrid`` is only
@@ -184,3 +203,154 @@ def choose_plan(
         f"non-deterministic but small ({stats.num_states} states "
         f"<= {otf_state_threshold}): determinize once, reuse dense tables",
     )
+
+
+# ---------------------------------------------------------------------- #
+# The shared compilation-artifact cache
+# ---------------------------------------------------------------------- #
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of a :class:`PlanCache`'s counters.
+
+    ``hits``/``misses`` count :meth:`PlanCache.get_or_create` (and
+    :meth:`PlanCache.get`) lookups since construction (or the last
+    :meth:`PlanCache.reset_stats`), ``evictions`` counts entries dropped
+    by the LRU bound, and ``entries``/``max_entries`` describe the
+    current occupancy.  ``hit_ratio`` is what the server's ``/metrics``
+    endpoint reports.
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    entries: int
+    max_entries: int
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """The JSON-ready form used by ``/metrics``."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": self.entries,
+            "max_entries": self.max_entries,
+            "hit_ratio": round(self.hit_ratio, 6),
+        }
+
+
+class PlanCache(Generic[K, V]):
+    """A size-bounded, thread-safe LRU over compilation artifacts.
+
+    Values are built at most once per resident key through
+    :meth:`get_or_create` (the factory runs under the cache lock, so two
+    racing callers never compile the same entry twice), refreshed on
+    every hit, and dropped — oldest first — once the bound is exceeded.
+    Eviction only severs the cache's reference: callers that already
+    hold an entry (an in-flight server session feeding its evaluator, a
+    borrowed scratch) keep a perfectly valid object; the next lookup for
+    that key simply rebuilds a fresh one.  That invariant is what lets
+    the multi-tenant server evict under pressure without corrupting
+    open sessions, and it is pinned by the integration tests.
+    """
+
+    def __init__(self, max_entries: int, *, name: str = "plan-cache") -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.name = name
+        self._max_entries = max_entries
+        self._entries: OrderedDict[K, V] = OrderedDict()
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def max_entries(self) -> int:
+        return self._max_entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> list[K]:
+        """The resident keys, oldest (next eviction victim) first."""
+        with self._lock:
+            return list(self._entries)
+
+    def get(self, key: K) -> V | None:
+        """Return the entry for *key* (refreshing recency) or ``None``."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self._misses += 1
+                return None
+            self._hits += 1
+            self._entries.move_to_end(key)
+            return value
+
+    def get_or_create(self, key: K, factory: Callable[[], V]) -> V:
+        """Return the entry for *key*, building it via *factory* on a miss.
+
+        The factory runs under the cache lock: a compilation is never
+        duplicated, at the price of serializing concurrent misses —
+        the right trade for compilation artifacts, which are expensive
+        to build and cheap to share.
+        """
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self._hits += 1
+                self._entries.move_to_end(key)
+                return value
+            self._misses += 1
+            value = factory()
+            self._entries[key] = value
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            return value
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept; see :meth:`reset_stats`)."""
+        with self._lock:
+            self._entries.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/eviction counters."""
+        with self._lock:
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
+
+    def stats(self) -> CacheStats:
+        """A consistent snapshot of the counters and occupancy."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                entries=len(self._entries),
+                max_entries=self._max_entries,
+            )
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"PlanCache({self.name!r}, entries={stats.entries}/"
+            f"{stats.max_entries}, hits={stats.hits}, misses={stats.misses}, "
+            f"evictions={stats.evictions})"
+        )

@@ -1,0 +1,216 @@
+"""A reference asyncio client for the ``repro serve`` NDJSON protocol.
+
+Used by the integration tests and ``benchmarks/bench_serve.py``, and
+small enough to double as documentation of the wire format: open a
+session with :meth:`StreamClient.open`, :meth:`~StreamClient.feed`
+document text as it becomes available, then
+:meth:`~StreamClient.finish` and drain the remaining events.  The
+request body is sent with chunked transfer encoding so the server sees
+each event the moment it is written — the whole point of the streaming
+service.
+
+>>> client = await StreamClient.open("127.0.0.1", port, ".*x{a+b}.*", alphabet="ab")
+>>> await client.feed("aab")          # doctest: +SKIP
+>>> events = await client.finish()    # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["StreamClient", "fetch_json"]
+
+
+@dataclass
+class _Response:
+    status: int
+    headers: dict[str, str]
+    #: Parsed NDJSON events for 200 streams; the JSON error body otherwise.
+    body: dict[str, Any] | None = None
+    events: list[dict[str, Any]] = field(default_factory=list)
+
+
+async def _read_head(reader: asyncio.StreamReader) -> tuple[int, dict[str, str]]:
+    raw = await reader.readuntil(b"\r\n\r\n")
+    lines = raw.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if line:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+    return status, headers
+
+
+class StreamClient:
+    """One open extraction session against a running ``repro serve``."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        status: int,
+        headers: dict[str, str],
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self.status = status
+        self.headers = headers
+        self.ready: dict[str, Any] | None = None
+        self.error_body: dict[str, Any] | None = None
+        self._line_buffer = b""
+        self._response_done = False
+        self._body_closed = False
+
+    # ------------------------------------------------------------------ #
+    # Opening
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    async def open(
+        cls,
+        host: str,
+        port: int,
+        pattern: str,
+        *,
+        alphabet: str | None = None,
+        emit: str = "incremental",
+    ) -> "StreamClient":
+        """Connect, send the opening event, and read the server's verdict.
+
+        On HTTP 200 the returned client is live (``ready`` holds the
+        acknowledgement event); on any other status the error body is in
+        ``error_body`` and the connection is already closed.
+        """
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(
+            (
+                "POST /v1/stream HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\n"
+                "Content-Type: application/x-ndjson\r\n"
+                "Transfer-Encoding: chunked\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("ascii")
+        )
+        opening: dict[str, Any] = {"pattern": pattern, "emit": emit}
+        if alphabet is not None:
+            opening["alphabet"] = alphabet
+        client = cls(reader, writer, 0, {})
+        await client._send_event(opening)
+        client.status, client.headers = await _read_head(reader)
+        if client.status != 200:
+            body = await client._read_plain_body()
+            client.error_body = json.loads(body) if body.strip() else None
+            await client.close()
+            return client
+        client.ready = await client.read_event()
+        return client
+
+    # ------------------------------------------------------------------ #
+    # Request side
+    # ------------------------------------------------------------------ #
+
+    async def _send_event(self, payload: dict[str, Any]) -> None:
+        line = (json.dumps(payload) + "\n").encode("utf-8")
+        self._writer.write(b"%x\r\n" % len(line) + line + b"\r\n")
+        await self._writer.drain()
+
+    async def feed(self, text: str) -> None:
+        """Send one document chunk.
+
+        Settled mappings stream back on the response side as the server
+        evaluates; read them with :meth:`read_event` (blocking until the
+        next event) or collect everything with :meth:`finish`.  The
+        ``settled`` flag on each mapping event records whether it was
+        delivered mid-stream or only at finish.
+        """
+        await self._send_event({"chunk": text})
+
+    async def finish(self) -> list[dict[str, Any]]:
+        """Send the finish event, close the body, and drain all events."""
+        await self._send_event({"finish": True})
+        await self._close_body()
+        events: list[dict[str, Any]] = []
+        while True:
+            event = await self.read_event()
+            if event is None:
+                break
+            events.append(event)
+        return events
+
+    async def _close_body(self) -> None:
+        if not self._body_closed:
+            self._body_closed = True
+            self._writer.write(b"0\r\n\r\n")
+            await self._writer.drain()
+
+    # ------------------------------------------------------------------ #
+    # Response side
+    # ------------------------------------------------------------------ #
+
+    async def _read_plain_body(self) -> bytes:
+        length = int(self.headers.get("content-length", "0"))
+        return await self._reader.readexactly(length) if length else b""
+
+    async def _next_chunk(self) -> bytes:
+        size_line = await self._reader.readline()
+        if not size_line:
+            return b""
+        size = int(size_line.split(b";", 1)[0].strip() or b"0", 16)
+        if size == 0:
+            await self._reader.readline()  # trailing CRLF of the body
+            return b""
+        data = await self._reader.readexactly(size)
+        await self._reader.readexactly(2)
+        return data
+
+    async def read_event(self) -> dict[str, Any] | None:
+        """The next NDJSON event, or ``None`` once the response ended."""
+        while True:
+            newline = self._line_buffer.find(b"\n")
+            if newline >= 0:
+                line = self._line_buffer[:newline]
+                self._line_buffer = self._line_buffer[newline + 1 :]
+                if line.strip():
+                    return json.loads(line)
+                continue
+            if self._response_done:
+                return None
+            try:
+                data = await self._next_chunk()
+            except (asyncio.IncompleteReadError, ConnectionError):
+                data = b""
+            if not data:
+                self._response_done = True
+            else:
+                self._line_buffer += data
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def fetch_json(host: str, port: int, path: str) -> tuple[int, dict[str, Any]]:
+    """``GET`` *path* and parse the JSON body (the ``/metrics`` helper)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(
+        (
+            f"GET {path} HTTP/1.1\r\nHost: {host}:{port}\r\nConnection: close\r\n\r\n"
+        ).encode("ascii")
+    )
+    await writer.drain()
+    status, headers = await _read_head(reader)
+    length = int(headers.get("content-length", "0"))
+    body = await reader.readexactly(length) if length else await reader.read()
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+    return status, json.loads(body) if body.strip() else {}

@@ -48,7 +48,6 @@ artifacts; :meth:`Spanner.explain` renders the logical → physical plan.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import replace
 from typing import Iterable, Iterator
 
@@ -69,7 +68,13 @@ from repro.runtime.engine import (
     count_compiled,
     evaluate_compiled_arena,
 )
-from repro.runtime.plan import ENGINE_CHOICES, ExecutionPlan, choose_plan
+from repro.runtime.plan import (
+    ENGINE_CHOICES,
+    CacheStats,
+    ExecutionPlan,
+    PlanCache,
+    choose_plan,
+)
 from repro.runtime.streaming import StreamingEvaluator
 from repro.runtime.subset import CompiledSubsetEVA, count_subset, evaluate_subset_arena
 from repro.spanners.pipeline import CompilationPipeline, CompilationReport
@@ -122,20 +127,19 @@ class Spanner:
             raise ValueError(
                 f"unknown engine {engine!r}; expected one of {ENGINE_CHOICES}"
             )
-        if max_cached_alphabets < 1:
-            raise ValueError(
-                f"max_cached_alphabets must be positive, got {max_cached_alphabets}"
-            )
         if isinstance(source, str):
             source = parse_regex(source)
         self._pipeline = CompilationPipeline(source, alphabet)
         self._engine = engine
         self._unchecked = unchecked
-        self.max_cached_alphabets = max_cached_alphabets
         # One LRU entry per alphabet key; the sequential eVA, deterministic
         # eVA, both compiled runtimes and the plan share the entry so a
-        # single eviction drops them together.
-        self._states: OrderedDict[frozenset[str], _CompiledState] = OrderedDict()
+        # single eviction drops them together.  The cache is the shared
+        # PlanCache structure of the plan layer — thread-safe and counted,
+        # so the server front-end can expose per-spanner hit ratios too.
+        self._states: PlanCache[frozenset[str], _CompiledState] = PlanCache(
+            max_cached_alphabets, name="spanner-alphabets"
+        )
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -207,9 +211,18 @@ class Spanner:
         """The :class:`ExecutionPlan` that would evaluate *document*."""
         return self._plan_for_key(self._alphabet_key(document), engine)
 
+    @property
+    def max_cached_alphabets(self) -> int:
+        """The bound of the per-alphabet compilation cache."""
+        return self._states.max_entries
+
     def cached_alphabets(self) -> int:
         """How many alphabet keys currently sit in the compilation cache."""
         return len(self._states)
+
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss/eviction counters of the per-alphabet compilation cache."""
+        return self._states.stats()
 
     def explain(self, document: object = "", *, engine: str | None = None) -> str:
         """Render the logical and physical plan that evaluates *document*.
@@ -246,15 +259,7 @@ class Spanner:
         return frozenset()
 
     def _state_for_key(self, key: frozenset[str]) -> _CompiledState:
-        state = self._states.get(key)
-        if state is None:
-            state = _CompiledState()
-            self._states[key] = state
-            while len(self._states) > self.max_cached_alphabets:
-                self._states.popitem(last=False)
-        else:
-            self._states.move_to_end(key)
-        return state
+        return self._states.get_or_create(key, _CompiledState)
 
     def _sequential_for_key(
         self, key: frozenset[str]

@@ -273,3 +273,56 @@ class TestExplain:
         )
         assert code == 0
         assert "physical plan:" in output
+
+
+class TestServe:
+    """The serve subcommand's one-line-stderr error contract.
+
+    The happy path (boot, sessions, metrics) is exercised end to end in
+    tests/integration/test_serve.py; here we only pin the CLI surface:
+    malformed patterns, bind failures and bad flags must exit 2 with a
+    single ``repro serve: error:`` line and no traceback.
+    """
+
+    @staticmethod
+    def assert_one_line_error(capsys, code):
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro serve: error:")
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err
+
+    def test_malformed_warm_pattern(self, capsys):
+        code, _output = run_cli(["serve", "--port", "0", "--warm", "x{"])
+        self.assert_one_line_error(capsys, code)
+
+    def test_bind_failure(self, capsys):
+        import socket
+
+        holder = socket.socket()
+        try:
+            holder.bind(("127.0.0.1", 0))
+            holder.listen(1)
+            port = holder.getsockname()[1]
+            code, _output = run_cli(["serve", "--port", str(port)])
+        finally:
+            holder.close()
+        self.assert_one_line_error(capsys, code)
+        assert code == 2
+
+    @pytest.mark.parametrize(
+        "flag, value",
+        [
+            ("--max-sessions", "0"),
+            ("--plan-cache-size", "0"),
+            ("--idle-timeout", "0"),
+            ("--max-session-bytes", "-1"),
+        ],
+    )
+    def test_bad_config_values(self, flag, value, capsys):
+        code, _output = run_cli(["serve", "--port", "0", flag, value])
+        self.assert_one_line_error(capsys, code)
+
+    def test_serve_in_parser_help(self):
+        help_text = build_parser().format_help()
+        assert "serve" in help_text
