@@ -102,9 +102,20 @@ def build_parser() -> argparse.ArgumentParser:
             "or the legacy dict-based loop (reference)",
         )
 
+    def add_workers(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="shard a large document across this many worker processes "
+            "(compiled engine only; documents below the size threshold "
+            "run serially regardless)",
+        )
+
     extract = subparsers.add_parser("extract", help="enumerate the output mappings")
     add_common(extract)
     add_engine(extract)
+    add_workers(extract)
     extract.add_argument(
         "--format",
         choices=["text", "json", "spans"],
@@ -118,6 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
     count = subparsers.add_parser("count", help="count the output mappings (Algorithm 3)")
     add_common(count)
     add_engine(count)
+    add_workers(count)
 
     inspect = subparsers.add_parser("inspect", help="show the compilation pipeline report")
     add_common(inspect)
@@ -283,23 +295,40 @@ def _read_document(path: str | None, stdin: Iterable[str] | None = None) -> Docu
 
 def _run_extract(args: argparse.Namespace, document: Document, out) -> int:
     spanner = Spanner.from_regex(args.pattern)
+    try:
+        mappings = spanner.enumerate(
+            document, engine=args.engine, workers=args.workers
+        )
+    except ValueError as error:
+        print(f"repro extract: error: {error}", file=sys.stderr)
+        return 2
     produced = 0
-    for mapping in spanner.enumerate(document, engine=args.engine):
-        if args.format == "json":
-            print(json.dumps(mapping_to_dict(mapping, document), sort_keys=True), file=out)
-        elif args.format == "spans":
-            print(mapping.paper_notation(), file=out)
-        else:
-            print(json.dumps(mapping.contents(document), sort_keys=True), file=out)
-        produced += 1
-        if args.limit is not None and produced >= args.limit:
-            break
+    try:
+        for mapping in mappings:
+            if args.format == "json":
+                print(json.dumps(mapping_to_dict(mapping, document), sort_keys=True), file=out)
+            elif args.format == "spans":
+                print(mapping.paper_notation(), file=out)
+            else:
+                print(json.dumps(mapping.contents(document), sort_keys=True), file=out)
+            produced += 1
+            if args.limit is not None and produced >= args.limit:
+                break
+    finally:
+        spanner.close()
     return 0
 
 
 def _run_count(args: argparse.Namespace, document: Document, out) -> int:
     spanner = Spanner.from_regex(args.pattern)
-    print(spanner.count(document, engine=args.engine), file=out)
+    try:
+        total = spanner.count(document, engine=args.engine, workers=args.workers)
+    except ValueError as error:
+        print(f"repro count: error: {error}", file=sys.stderr)
+        return 2
+    finally:
+        spanner.close()
+    print(total, file=out)
     return 0
 
 

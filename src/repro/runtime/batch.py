@@ -49,6 +49,7 @@ property tests use to cross-check results.
 from __future__ import annotations
 
 import multiprocessing
+import os
 from typing import Iterable, Iterator
 
 from repro.core.documents import DocumentCollection
@@ -57,6 +58,7 @@ from repro.runtime.compiled import CompiledEVA
 from repro.runtime.dag import CompiledResultDag
 from repro.runtime.engine import EvaluationScratch, evaluate_compiled_arena
 from repro.runtime.operators import OperatorResult, PhysicalOperator
+from repro.runtime import sharding
 from repro.runtime.streaming import evaluate_streaming
 from repro.runtime.subset import CompiledSubsetEVA, evaluate_subset_arena
 
@@ -124,6 +126,11 @@ def _init_worker(compiled, engine: str, stream_chunk: int = 0) -> None:
     )
     _worker_engine = engine
     _worker_stream_chunk = stream_chunk
+    # Prime the shard-task globals too, so the same pool can serve
+    # intra-document shard tasks (run_batch's shard_min_chars path)
+    # without a second automaton transfer.
+    if isinstance(compiled, CompiledEVA):
+        sharding._init_shard_worker(compiled)
 
 
 def _evaluate_one(compiled, document: object, engine: str, scratch, stream_chunk: int = 0):
@@ -190,6 +197,7 @@ def run_batch(
     max_workers: int | None = None,
     streaming: bool = False,
     stream_chunk_size: int = 65536,
+    shard_min_chars: int | None = None,
 ) -> Iterator[tuple[object, ResultDag | CompiledResultDag | OperatorResult]]:
     """Evaluate *compiled* over every document, streaming the results.
 
@@ -221,6 +229,16 @@ def run_batch(
         but no whole-document class-id buffer is materialized.
     stream_chunk_size:
         Characters per streaming slice (ignored unless *streaming*).
+    shard_min_chars:
+        Process mode, ``compiled`` engine only: documents at least this
+        long get intra-document shard parallelism
+        (:func:`~repro.runtime.sharding.evaluate_sharded`) across the
+        whole pool instead of occupying one worker — the right call when
+        a collection mixes a few outsized documents into many small
+        ones.  Sharded documents are evaluated (and their results held)
+        before the small-document stream starts; yields stay in
+        collection order.  ``None`` (default) disables sharding, and
+        serial mode ignores it (there is no pool to shard across).
 
     Yields
     ------
@@ -265,10 +283,32 @@ def run_batch(
         raise ValueError(
             f"stream_chunk_size must be positive, got {stream_chunk_size}"
         )
+    if shard_min_chars is not None:
+        if shard_min_chars < 1:
+            raise ValueError(
+                f"shard_min_chars must be positive, got {shard_min_chars}"
+            )
+        if engine != "compiled":
+            raise ValueError(
+                f"engine={engine!r} cannot shard documents across workers; "
+                "shard_min_chars needs the dense-table compiled engine"
+            )
+        if streaming:
+            raise ValueError(
+                "streaming batches cannot shard documents: sharding needs "
+                "the whole class-id buffer up front to split it"
+            )
     collection = DocumentCollection.coerce(documents)
     stream_chunk = stream_chunk_size if streaming else 0
     return _stream_batch(
-        compiled, collection, mode, engine, chunk_size, max_workers, stream_chunk
+        compiled,
+        collection,
+        mode,
+        engine,
+        chunk_size,
+        max_workers,
+        stream_chunk,
+        shard_min_chars,
     )
 
 
@@ -280,6 +320,7 @@ def _stream_batch(
     chunk_size: int,
     max_workers: int | None,
     stream_chunk: int,
+    shard_min_chars: int | None = None,
 ) -> Iterator[tuple[object, ResultDag | CompiledResultDag | OperatorResult]]:
     pairs = _pairs_of(collection)
 
@@ -291,16 +332,44 @@ def _stream_batch(
             yield doc_id, _evaluate_one(compiled, document, engine, scratch, stream_chunk)
         return
 
+    workers = max_workers or os.cpu_count() or 1
     context = multiprocessing.get_context()
     pool = context.Pool(
-        processes=max_workers,
+        processes=workers,
         initializer=_init_worker,
         initargs=(compiled, engine, stream_chunk),
     )
     try:
-        for chunk_result in pool.imap(_process_chunk, _chunked(pairs, chunk_size)):
-            for doc_id, portable in chunk_result:
-                yield doc_id, thaw_result(portable, compiled)
+        # Outsized documents first, each sharded across the whole pool
+        # (every worker already holds the automaton via the initializer);
+        # the per-document fan-out below then only sees the small ones.
+        sharded: dict[object, CompiledResultDag] = {}
+        shard_ids: set[object] = set()
+        if shard_min_chars is not None:
+            shard_ids = {
+                doc_id
+                for doc_id, document in collection.items()
+                if len(document) >= shard_min_chars
+            }
+            if shard_ids:
+                submitter = sharding.adapt_pool(pool, workers)
+                for doc_id, document in collection.items():
+                    if doc_id in shard_ids:
+                        sharded[doc_id] = sharding.evaluate_sharded(
+                            compiled, document, pool=submitter, shards=workers
+                        )
+        small = (pair for pair in pairs if pair[0] not in shard_ids)
+        small_results = (
+            pair
+            for chunk_result in pool.imap(_process_chunk, _chunked(small, chunk_size))
+            for pair in chunk_result
+        )
+        for doc_id, _document in collection.items():
+            if doc_id in shard_ids:
+                yield doc_id, sharded[doc_id]
+            else:
+                small_id, portable = next(small_results)
+                yield small_id, thaw_result(portable, compiled)
     finally:
         pool.terminate()
         pool.join()

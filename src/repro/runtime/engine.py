@@ -15,7 +15,13 @@ same lazy-list DAG construction as the reference engine in
 * marker sets are referenced by id and only materialized into DAG nodes,
 * the per-document state arrays live in an :class:`EvaluationScratch` that
   batch callers reuse across documents, so steady-state evaluation
-  allocates only the DAG it returns.
+  allocates only the DAG it returns,
+* the live-state list is kept **sorted by state id** after every phase
+  that could disorder it.  This canonical order makes each engine's arena
+  a pure function of ``(entry state set, buffer)`` — the invariant the
+  shard-parallel engine (:mod:`repro.runtime.sharding`) relies on to
+  replay shards independently and concatenate bit-identical fragments —
+  and it costs one ``sort`` of a usually length-≤2 list per phase.
 
 On top of that sits the **quiescent-run fast path**: when every live state
 is *silent* (no extended variable transition), the capturing phase is a
@@ -228,7 +234,12 @@ def evaluate_compiled(
                     break
                 pos = match.start()
         if not quiet:
+            alive = len(active)
             capturing(pos)
+            if len(active) > alive:
+                # Restore the canonical (sorted-by-id) live order after
+                # the capture phase appended fresh targets.
+                active.sort()
 
         # Reading phase: consume the character class, moving every live
         # list through its (unique) letter transition.  The foreign class
@@ -253,6 +264,8 @@ def evaluate_compiled(
                     quiet = False
             target_list.append(old_list)
         current, pending = pending, current
+        if len(next_active) > 1:
+            next_active.sort()
         active = next_active
         if not active:
             break
@@ -260,7 +273,10 @@ def evaluate_compiled(
     # Final capturing phase at position n (no-op if no run survived or
     # every surviving run is silent).
     if active and not quiet:
+        alive = len(active)
         capturing(pos)
+        if len(active) > alive:
+            active.sort()
 
     state_objects = compiled.state_objects
     final_lists = {}
@@ -386,7 +402,13 @@ def evaluate_compiled_arena(
                     break
                 pos = match.start()
         if not quiet:
+            alive = len(active)
             capturing(pos)
+            if len(active) > alive:
+                # Restore the canonical (sorted-by-id) live order after
+                # the capture phase appended fresh targets; the sharded
+                # engine replays fragments assuming exactly this order.
+                active.sort()
 
         # Reading phase: move every live pair through its (unique) letter
         # transition; the foreign class column is all NO_TARGET, so
@@ -422,6 +444,8 @@ def evaluate_compiled_arena(
                 pend_end[target] = old_end
         cur_start, pend_start = pend_start, cur_start
         cur_end, pend_end = pend_end, cur_end
+        if len(next_active) > 1:
+            next_active.sort()
         active = next_active
         if not active:
             break
@@ -429,7 +453,10 @@ def evaluate_compiled_arena(
     # Final capturing phase at position n (no-op if no run survived or
     # every surviving run is silent).
     if active and not quiet:
+        alive = len(active)
         capturing(pos)
+        if len(active) > alive:
+            active.sort()
 
     is_final = compiled.is_final
     final_entries = []
@@ -530,7 +557,10 @@ def count_compiled(
                     break
                 pos = match.start()
         if not quiet:
+            alive = len(active)
             capturing()
+            if len(active) > alive:
+                active.sort()
 
         symbol = buf[pos]
         pos += 1
@@ -550,12 +580,17 @@ def count_compiled(
                     quiet = False
             pending[target] += amount
         counts, pending = pending, counts
+        if len(next_active) > 1:
+            next_active.sort()
         active = next_active
         if not active:
             break
 
     if active and not quiet:
+        alive = len(active)
         capturing()
+        if len(active) > alive:
+            active.sort()
 
     is_final = compiled.is_final
     total = sum(counts[state] for state in active if is_final[state])

@@ -340,7 +340,10 @@ class StreamingEvaluator:
         cur_start = self._cur_start
         cur_end = self._cur_end
         if self._active and not self._quiet:
+            alive = len(self._active)
             self._capturing(self._offset)
+            if len(self._active) > alive:
+                self._active.sort()
         is_final = compiled.is_final
         final_entries = [
             (state, cur_start[state], cur_end[state])
@@ -517,8 +520,12 @@ class StreamingEvaluator:
                 self._cur_start = cur_start
                 self._cur_end = cur_end
                 self._active = active
+                alive = len(active)
                 self._capturing(offset + pos)
                 active = self._active
+                if len(active) > alive:
+                    # Canonical live order, exactly as the arena engine.
+                    active.sort()
 
             symbol = buf[pos]
             pos += 1
@@ -549,6 +556,8 @@ class StreamingEvaluator:
                     pend_end[target] = old_end
             cur_start, pend_start = pend_start, cur_start
             cur_end, pend_end = pend_end, cur_end
+            if len(next_active) > 1:
+                next_active.sort()
             active = next_active
             if not active:
                 break

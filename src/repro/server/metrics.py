@@ -21,6 +21,7 @@ import threading
 from typing import Iterable
 
 from repro.runtime.plan import PlanCache
+from repro.runtime.sharding import shard_metrics_snapshot
 
 __all__ = ["LatencyRing", "ServerMetrics"]
 
@@ -197,4 +198,10 @@ class ServerMetrics:
             }
         if plan_cache is not None:
             payload["plan_cache"] = plan_cache.stats().as_dict()
+        # Shard-parallel evaluation counters are process-wide (the
+        # sharding module keeps them, whoever drives it — the facade, the
+        # batch engine or a server session), so the snapshot just embeds
+        # them: shards evaluated vs skipped-as-unreachable, and the
+        # summary-pass vs replay-pass time split.
+        payload["sharding"] = shard_metrics_snapshot()
         return payload

@@ -75,6 +75,12 @@ from repro.runtime.plan import (
     PlanCache,
     choose_plan,
 )
+from repro.runtime.sharding import (
+    DEFAULT_SHARD_MIN_CHARS,
+    ShardPool,
+    count_sharded,
+    evaluate_sharded,
+)
 from repro.runtime.streaming import StreamingEvaluator
 from repro.runtime.subset import CompiledSubsetEVA, count_subset, evaluate_subset_arena
 from repro.spanners.pipeline import CompilationPipeline, CompilationReport
@@ -96,6 +102,7 @@ class _CompiledState:
         "plan",
         "stats",
         "optimized",
+        "shard_pool",
     )
 
     def __init__(self) -> None:
@@ -109,6 +116,7 @@ class _CompiledState:
         self.plan: ExecutionPlan | None = None
         self.stats: AutomatonStatistics | None = None
         self.optimized = None  # OptimizedPlan, physical tree prepared for the key
+        self.shard_pool: ShardPool | None = None
 
 
 class Spanner:
@@ -122,16 +130,25 @@ class Spanner:
         engine: str = "auto",
         max_cached_alphabets: int = 8,
         unchecked: bool = False,
+        shard_min_chars: int = DEFAULT_SHARD_MIN_CHARS,
     ) -> None:
         if engine not in ENGINE_CHOICES:
             raise ValueError(
                 f"unknown engine {engine!r}; expected one of {ENGINE_CHOICES}"
+            )
+        if shard_min_chars < 1:
+            raise ValueError(
+                f"shard_min_chars must be positive, got {shard_min_chars}"
             )
         if isinstance(source, str):
             source = parse_regex(source)
         self._pipeline = CompilationPipeline(source, alphabet)
         self._engine = engine
         self._unchecked = unchecked
+        # Documents shorter than this run serially even when ``workers``
+        # asks for shard parallelism: below the threshold the serial arena
+        # engine beats the cost of shipping shard tasks to a pool.
+        self._shard_min_chars = shard_min_chars
         # One LRU entry per alphabet key; the sequential eVA, deterministic
         # eVA, both compiled runtimes and the plan share the entry so a
         # single eviction drops them together.  The cache is the shared
@@ -385,6 +402,61 @@ class Spanner:
             state.plan = choose_plan(self._planner_stats(key), engine="auto")
         return state.plan
 
+    def _sharded_plan_for_key(
+        self, key: frozenset[str], engine: str | None, workers: int
+    ) -> ExecutionPlan:
+        """Resolve a shard-parallel plan (``workers > 1``) for *key*.
+
+        Sharding runs the dense-table compiled engine; an expression
+        whose optimizer plan is hybrid cannot silently degrade to the
+        monolithic fused automaton (the same soundness argument as for
+        streaming), so it is rejected rather than mis-evaluated.
+        """
+        engine = self._engine if engine is None else engine
+        if engine in ("auto", "hybrid") and isinstance(
+            self._pipeline.source, SpannerExpression
+        ):
+            if self._optimized_for_key(key).is_hybrid:
+                raise ValueError(
+                    "this expression optimizes to a hybrid operator plan, "
+                    "which cannot shard one document across workers; "
+                    "evaluate without workers instead"
+                )
+        if engine == "hybrid":
+            engine = "auto"
+        return choose_plan(engine=engine, shard_workers=workers)
+
+    def _shard_pool_for_key(self, key: frozenset[str], workers: int) -> ShardPool:
+        """The per-alphabet persistent shard worker pool (lazily built).
+
+        Cached in the same LRU entry as the compiled runtime it is bound
+        to, so eviction drops both together (the pool's ``__del__``
+        terminates its processes).  A request with a different worker
+        count replaces the pool.
+        """
+        state = self._state_for_key(key)
+        pool = state.shard_pool
+        if pool is not None and pool.workers == workers and not pool.closed:
+            return pool
+        if pool is not None:
+            pool.close()
+        pool = ShardPool(self._runtime_for_key(key), workers)
+        state.shard_pool = pool
+        return pool
+
+    def close(self) -> None:
+        """Release worker pools held by the compilation cache.
+
+        Idempotent; the spanner stays usable (pools are rebuilt on the
+        next ``workers > 1`` call).  Without it, pools are torn down by
+        garbage collection of their cache entries.
+        """
+        for key in self._states.keys():
+            state = self._states.get(key)
+            if state is not None and state.shard_pool is not None:
+                state.shard_pool.close()
+                state.shard_pool = None
+
     def _planner_stats(self, key: frozenset[str]) -> AutomatonStatistics:
         state = self._state_for_key(key)
         if state.stats is None:
@@ -398,7 +470,13 @@ class Spanner:
     # Evaluation
     # ------------------------------------------------------------------ #
 
-    def preprocess(self, document: object, *, engine: str | None = None):
+    def preprocess(
+        self,
+        document: object,
+        *,
+        engine: str | None = None,
+        workers: int | None = None,
+    ):
         """Run only the preprocessing phase (Algorithm 1) on *document*.
 
         *engine* overrides the spanner's default.  The compiled engines
@@ -406,8 +484,31 @@ class Spanner:
         arena (no ``DagNode`` objects are materialized); ``"reference"``
         returns the legacy object :class:`~repro.enumeration.evaluate.ResultDag`.
         Both support iteration, ``count()`` and ``is_empty()``.
+
+        ``workers > 1`` splits the document into shards evaluated in
+        parallel by a persistent worker pool
+        (:mod:`repro.runtime.sharding`); the arena is bit-identical to
+        the serial one.  Only the ``compiled`` engine (or ``auto``) can
+        shard, and documents shorter than the spanner's
+        ``shard_min_chars`` run serially anyway — the pool is then never
+        even started.
         """
         key = self._alphabet_key(document)
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if workers is not None and workers > 1:
+            plan = self._sharded_plan_for_key(key, engine, workers)
+            runtime = self._runtime_for_key(key)
+            if len(as_text(document)) >= self._shard_min_chars:
+                return evaluate_sharded(
+                    runtime,
+                    document,
+                    pool=self._shard_pool_for_key(key, plan.shard_workers),
+                    shards=plan.shard_workers,
+                )
+            return evaluate_compiled_arena(
+                runtime, document, scratch=self._scratch_for_key(key)
+            )
         plan = self._plan_for_key(key, engine)
         if plan.engine == "hybrid":
             return plan.operators.execute(document)
@@ -420,13 +521,25 @@ class Spanner:
             self._runtime_for_key(key), document, scratch=self._scratch_for_key(key)
         )
 
-    def enumerate(self, document: object, *, engine: str | None = None) -> Iterator[Mapping]:
+    def enumerate(
+        self,
+        document: object,
+        *,
+        engine: str | None = None,
+        workers: int | None = None,
+    ) -> Iterator[Mapping]:
         """Enumerate ``⟦γ⟧(d)`` with constant delay after linear preprocessing."""
-        return iter(self.preprocess(document, engine=engine))
+        return iter(self.preprocess(document, engine=engine, workers=workers))
 
-    def evaluate(self, document: object, *, engine: str | None = None) -> list[Mapping]:
+    def evaluate(
+        self,
+        document: object,
+        *,
+        engine: str | None = None,
+        workers: int | None = None,
+    ) -> list[Mapping]:
         """Return the full list of output mappings."""
-        return list(self.enumerate(document, engine=engine))
+        return list(self.enumerate(document, engine=engine, workers=workers))
 
     def stream(
         self,
@@ -484,6 +597,7 @@ class Spanner:
         max_workers: int | None = None,
         streaming: bool = False,
         stream_chunk_size: int = 65536,
+        shard_min_chars: int | None = None,
     ) -> Iterator[tuple[object, object]]:
         """Evaluate the spanner over many documents, compiling exactly once.
 
@@ -505,6 +619,12 @@ class Spanner:
         to the whole-document one), but no whole-document class-id
         buffer is ever materialized, cutting each worker's peak memory
         to one encoded chunk plus the live arena.
+
+        ``shard_min_chars`` (processes mode, compiled engine only) turns
+        on intra-document parallelism for outsized documents: any
+        document at least that long is split into shards evaluated
+        across the whole pool (:mod:`repro.runtime.sharding`) instead of
+        occupying a single worker while the rest idle.
         """
         documents = DocumentCollection.coerce(documents)
         if self._pipeline.source_needs_alphabet():
@@ -533,16 +653,40 @@ class Spanner:
             max_workers=max_workers,
             streaming=plan.streaming,
             stream_chunk_size=stream_chunk_size,
+            shard_min_chars=shard_min_chars,
         )
 
-    def count(self, document: object, *, engine: str | None = None) -> int:
+    def count(
+        self,
+        document: object,
+        *,
+        engine: str | None = None,
+        workers: int | None = None,
+    ) -> int:
         """Count ``|⟦γ⟧(d)|`` with Algorithm 3 (no enumeration).
 
         The compiled engines run the integer rewrite of Algorithm 3 on
         their dense (or lazily discovered) tables; ``"reference"`` runs the
-        original dict-based loop.
+        original dict-based loop.  ``workers > 1`` shards the count pass
+        the same way :meth:`preprocess` shards evaluation — without even
+        a replay phase, since counts compose linearly across shards.
         """
         key = self._alphabet_key(document)
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if workers is not None and workers > 1:
+            shard_plan = self._sharded_plan_for_key(key, engine, workers)
+            runtime = self._runtime_for_key(key)
+            if len(as_text(document)) >= self._shard_min_chars:
+                return count_sharded(
+                    runtime,
+                    document,
+                    pool=self._shard_pool_for_key(key, shard_plan.shard_workers),
+                    shards=shard_plan.shard_workers,
+                )
+            return count_compiled(
+                runtime, document, scratch=self._scratch_for_key(key)
+            )
         plan = self._plan_for_key(key, engine)
         if plan.engine == "hybrid":
             # Cut-edge operators dedup while materializing, so the count is
@@ -558,7 +702,11 @@ class Spanner:
         )
 
     def extract(
-        self, document: object, *, engine: str | None = None
+        self,
+        document: object,
+        *,
+        engine: str | None = None,
+        workers: int | None = None,
     ) -> list[dict[str, str]]:
         """Return the extracted text per output mapping.
 
@@ -568,7 +716,7 @@ class Spanner:
         text = as_text(document)
         return [
             mapping.contents(text)
-            for mapping in self.enumerate(document, engine=engine)
+            for mapping in self.enumerate(document, engine=engine, workers=workers)
         ]
 
     def __call__(self, document: object) -> list[Mapping]:

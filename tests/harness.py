@@ -9,7 +9,13 @@ of the library against each other on one ``(spanner, document)`` pair:
   **both** emit modes, over a seeded adversarial set of chunkings of the
   same document: whole-document, one-character chunks, empty chunks
   interspersed, random seeded splits, and UTF-8 byte streams split
-  *inside* multi-byte sequences.
+  *inside* multi-byte sequences;
+* the shard-parallel engine (:mod:`repro.runtime.sharding`), pinned
+  **arena-for-arena** (bit-identical arrays, not just equal mapping
+  sets) against the serial arena engine over adversarial shard counts:
+  one-character shards, more shards than characters, and seeded counts
+  that land boundaries inside quiescent sprint runs and between the
+  codepoints of multi-byte text.
 
 The streaming evaluator is opened over the document's own alphabet —
 exactly the alphabet key the facade derives for whole-document
@@ -30,12 +36,16 @@ import random
 
 from repro import Spanner, StreamingError
 from repro.core.documents import as_text
+from repro.runtime.engine import count_compiled, evaluate_compiled_arena
+from repro.runtime.sharding import count_sharded, evaluate_sharded
 
 __all__ = [
     "FACADE_ENGINES",
     "adversarial_chunkings",
     "adversarial_documents",
+    "adversarial_shard_counts",
     "assert_all_engines_agree",
+    "assert_arena_identical",
     "facade_results",
 ]
 
@@ -103,6 +113,47 @@ def adversarial_documents(seed: int = 0) -> list[str]:
     return corpus
 
 
+def adversarial_shard_counts(length: int, seed: int = 0) -> list[int]:
+    """Shard counts that stress every boundary-placement hazard.
+
+    One-character shards put a boundary at *every* position (so inside
+    every quiescent sprint run and between every pair of codepoints of a
+    multi-byte document); a count above the length exercises the
+    degenerate more-shards-than-characters plan; small counts land
+    boundaries mid-run; a seeded count adds variety across calls.
+    """
+    rng = random.Random(seed)
+    counts = {1, 2, 3, max(1, length // 2), max(1, length), length + 3}
+    counts.add(rng.randint(1, max(1, length + 1)))
+    return sorted(counts)
+
+
+_ARENA_ARRAYS = (
+    "node_markers",
+    "node_positions",
+    "node_starts",
+    "node_ends",
+    "cell_nodes",
+    "cell_nexts",
+    "final_entries",
+)
+
+
+def assert_arena_identical(actual, expected, *, context: str = "") -> None:
+    """Assert two :class:`CompiledResultDag` arenas are bit-identical.
+
+    Stronger than comparing mapping sets: every array must match element
+    for element, which pins node sharing, allocation order and list
+    splicing — exactly what shard stitching must reproduce.
+    """
+    for name in _ARENA_ARRAYS:
+        left = list(getattr(actual, name))
+        right = list(getattr(expected, name))
+        assert left == right, (
+            f"arena array {name!r} differs{context}: {left} != {right}"
+        )
+
+
 def _mapping_set(mappings) -> frozenset[str]:
     return frozenset(str(mapping) for mapping in mappings)
 
@@ -121,6 +172,7 @@ def assert_all_engines_agree(
     *,
     seed: int = 0,
     streaming: bool = True,
+    sharded: bool = True,
     spanner: Spanner | None = None,
 ) -> frozenset[str]:
     """Assert every engine and every chunking yields one mapping set.
@@ -150,6 +202,28 @@ def assert_all_engines_agree(
         assert count == len(expected), (
             f"count({engine!r}) = {count}, enumeration found {len(expected)}"
         )
+
+    if sharded:
+        # The shard-parallel engine is held to a stronger standard than
+        # agreement on mapping sets: its stitched arena must be
+        # bit-identical to the serial one for every shard count, and the
+        # replay-free sharded count must be exact.
+        runtime = spanner.runtime(text)
+        serial_arena = evaluate_compiled_arena(runtime, text)
+        serial_count = count_compiled(runtime, text)
+        for shards in adversarial_shard_counts(len(text), seed=seed):
+            arena = evaluate_sharded(runtime, text, shards=shards)
+            assert_arena_identical(
+                arena, serial_arena, context=f" (shards={shards})"
+            )
+            sharded_count = count_sharded(runtime, text, shards=shards)
+            assert sharded_count == serial_count, (
+                f"count_sharded(shards={shards}) = {sharded_count}, "
+                f"serial count = {serial_count}"
+            )
+            assert _mapping_set(arena) == expected, (
+                f"sharded enumeration (shards={shards}) disagrees"
+            )
 
     if not streaming:
         return expected

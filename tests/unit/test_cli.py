@@ -60,10 +60,45 @@ class TestExtract:
 
 
 class TestCountAndInspect:
+    def test_workers_flag_matches_serial_output(self, document_path):
+        # The fixture document sits far below the shard size threshold,
+        # so --workers routes through plan validation and then runs the
+        # serial arena engine — no pool is ever forked.
+        serial_code, serial_output = run_cli(
+            ["extract", contact_pattern(), document_path]
+        )
+        code, output = run_cli(
+            ["extract", contact_pattern(), document_path, "--workers", "2"]
+        )
+        assert (code, output) == (serial_code, serial_output)
+
+    def test_workers_flag_rejects_incompatible_engine(self, document_path, capsys):
+        code, _output = run_cli(
+            [
+                "extract",
+                contact_pattern(),
+                document_path,
+                "--engine",
+                "reference",
+                "--workers",
+                "2",
+            ]
+        )
+        assert code == 2
+        assert "cannot shard" in capsys.readouterr().err
+
     def test_count(self, document_path):
         code, output = run_cli(["count", contact_pattern(), document_path])
         assert code == 0
         assert output.strip() == "2"
+
+    def test_count_workers_flag(self, document_path):
+        _code, serial = run_cli(["count", contact_pattern(), document_path])
+        code, output = run_cli(
+            ["count", contact_pattern(), document_path, "--workers", "2"]
+        )
+        assert code == 0
+        assert output == serial
 
     def test_inspect(self, document_path):
         code, output = run_cli(["inspect", contact_pattern(), document_path])
