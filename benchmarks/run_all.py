@@ -1,11 +1,12 @@
-"""Run the benchmark suite, gate it, and emit the BENCH_7.json snapshot.
+"""Run the benchmark suite, gate it, and emit the BENCH_8.json snapshot.
 
 One entry point for everything CI (and a developer refreshing baselines)
 needs:
 
-1. run the six report-producing benchmarks (``bench_batch.py``,
+1. run the seven report-producing benchmarks (``bench_batch.py``,
    ``bench_enumerate.py``, ``bench_algebra.py``, ``bench_streaming.py``,
-   ``bench_serve.py``, ``bench_shard.py``), in smoke mode by default;
+   ``bench_serve.py``, ``bench_shard.py``, ``bench_runlength.py``), in
+   smoke mode by default;
 2. gate every report against its committed baseline with
    ``check_regression.py`` (ratio tolerance plus the absolute floors the
    acceptance criteria pin — including the streaming first-result-latency
@@ -16,15 +17,16 @@ needs:
    physically unreachable regardless of engine quality, so it runs
    through ``--soft-min-speedup`` (reported, never failing) while the
    core-independent shard overhead ratios stay gated hard everywhere;
-3. write a consolidated perf-trajectory snapshot — ``BENCH_7.json`` at the
+3. write a consolidated perf-trajectory snapshot — ``BENCH_8.json`` at the
    repository root — containing only the machine-portable ratio metrics of
-   every workload (plus ``cpu_count`` and the effective shard worker
-   count, so the shard wall-clock ratio can be read in context), so the
-   repo history carries one comparable perf number set per PR.
+   every workload (plus ``cpu_count``, the effective shard worker count,
+   and whether/which numpy backed the run-length kernel's int64 path, so
+   the ratios can be read in context), so the repo history carries one
+   comparable perf number set per PR.
 
 Usage::
 
-    python benchmarks/run_all.py [--full] [--skip-gates] [--output BENCH_7.json]
+    python benchmarks/run_all.py [--full] [--skip-gates] [--output BENCH_8.json]
 
 ``--full`` runs the full-size workloads instead of the CI smokes (and
 skips the gates: the committed baselines are smoke-sized, so comparing
@@ -130,6 +132,22 @@ SUITE = [
             "speedup_sharded_inline_vs_serial=0.25",
         ],
     ),
+    (
+        "bench_runlength.py",
+        "runlength_report.json",
+        os.path.join("baselines", "runlength_smoke.json"),
+        # The run-length acceptance criterion: counting through the run
+        # kernels (pure-python rows) must hold a >=5x edge over the
+        # scalar per-character fold on both the sparse-logs and the
+        # dense-run workload (measured ~14x and ~50x; the floor leaves
+        # shared-runner jitter headroom).  The vs-fastpath and numpy
+        # ratios are reported in the snapshot but deliberately ungated:
+        # the first is sub-1x on sparse logs by design (the scalar
+        # sprint skips at C speed there — which is why kernel="auto"
+        # keeps short-run documents scalar), the second depends on
+        # whether the runner installed numpy.
+        ["--min-speedup", "speedup_runlength_count_vs_scalar=5.0"],
+    ),
 ]
 
 #: The shard-parallel acceptance floor: >=1.5x wall clock with 2+ workers.
@@ -137,6 +155,15 @@ SUITE = [
 #: runner cannot reach 1.5x with the summary pass costing ~1 serial scan —
 #: so below four cores it is soft-gated (reported, not failing).
 SHARD_WALLCLOCK_FLOOR = "speedup_sharded_vs_serial=1.5"
+
+
+def _numpy_snapshot() -> dict:
+    """numpy presence/version of the interpreter running the suite."""
+    try:
+        import numpy
+    except ImportError:
+        return {"available": False, "version": None}
+    return {"available": True, "version": numpy.__version__}
 
 
 def run(command: list[str]) -> int:
@@ -182,13 +209,13 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output",
         default=None,
-        help="path of the consolidated snapshot (default: BENCH_7.json at the "
-        "repo root for smoke runs, BENCH_7_full.json for --full so a local "
+        help="path of the consolidated snapshot (default: BENCH_8.json at the "
+        "repo root for smoke runs, BENCH_8_full.json for --full so a local "
         "full-size run never overwrites the committed smoke trajectory)",
     )
     args = parser.parse_args(argv)
     if args.output is None:
-        name = "BENCH_7_full.json" if args.full else "BENCH_7.json"
+        name = "BENCH_8_full.json" if args.full else "BENCH_8.json"
         args.output = os.path.join(REPO_ROOT, name)
 
     mode_args = [] if args.full else ["--smoke"]
@@ -201,9 +228,14 @@ def main(argv=None) -> int:
     failures: list[str] = []
     cpu_count = os.cpu_count() or 1
     snapshot = {
-        "pr": 7,
+        "pr": 8,
         "smoke": not args.full,
         "cpu_count": cpu_count,
+        # The run-length count ratios depend on whether the exact-int64
+        # numpy path backed long general runs; record presence and
+        # version so a trajectory diff can tell engine changes from
+        # environment changes.
+        "numpy": _numpy_snapshot(),
         "benchmarks": {},
     }
 

@@ -61,7 +61,7 @@ from repro.core.documents import Document, DocumentCollection
 from repro.core.errors import ReproError
 from repro.io.serialization import mapping_to_dict
 from repro.runtime.batch import MODES
-from repro.runtime.plan import ENGINE_CHOICES
+from repro.runtime.plan import ENGINE_CHOICES, KERNEL_CHOICES
 from repro.spanners.spanner import Spanner
 
 __all__ = ["build_parser", "main"]
@@ -102,6 +102,18 @@ def build_parser() -> argparse.ArgumentParser:
             "or the legacy dict-based loop (reference)",
         )
 
+    def add_kernel(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--kernel",
+            choices=list(KERNEL_CHOICES),
+            default="auto",
+            help="inner-loop kernel of the compiled engine: pick per "
+            "document from run-length statistics (auto, default), the "
+            "character-at-a-time loop (scalar), or O(log k) run "
+            "exponentiation over the run-length encoding (runlength); "
+            "results are identical either way",
+        )
+
     def add_workers(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
             "--workers",
@@ -115,6 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
     extract = subparsers.add_parser("extract", help="enumerate the output mappings")
     add_common(extract)
     add_engine(extract)
+    add_kernel(extract)
     add_workers(extract)
     extract.add_argument(
         "--format",
@@ -129,6 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
     count = subparsers.add_parser("count", help="count the output mappings (Algorithm 3)")
     add_common(count)
     add_engine(count)
+    add_kernel(count)
     add_workers(count)
 
     inspect = subparsers.add_parser("inspect", help="show the compilation pipeline report")
@@ -185,6 +199,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate in-process (serial) or fan out to worker processes",
     )
     add_engine(batch)
+    add_kernel(batch)
     batch.add_argument(
         "--chunk-size", type=int, default=16, help="documents per worker task"
     )
@@ -297,7 +312,7 @@ def _run_extract(args: argparse.Namespace, document: Document, out) -> int:
     spanner = Spanner.from_regex(args.pattern)
     try:
         mappings = spanner.enumerate(
-            document, engine=args.engine, workers=args.workers
+            document, engine=args.engine, workers=args.workers, kernel=args.kernel
         )
     except ValueError as error:
         print(f"repro extract: error: {error}", file=sys.stderr)
@@ -322,7 +337,9 @@ def _run_extract(args: argparse.Namespace, document: Document, out) -> int:
 def _run_count(args: argparse.Namespace, document: Document, out) -> int:
     spanner = Spanner.from_regex(args.pattern)
     try:
-        total = spanner.count(document, engine=args.engine, workers=args.workers)
+        total = spanner.count(
+            document, engine=args.engine, workers=args.workers, kernel=args.kernel
+        )
     except ValueError as error:
         print(f"repro count: error: {error}", file=sys.stderr)
         return 2
@@ -392,13 +409,19 @@ def _run_batch(args: argparse.Namespace, out) -> int:
         print(f"repro batch: error: {error}", file=sys.stderr)
         return 2
     spanner = Spanner.from_regex(args.pattern)
-    for doc_id, result in spanner.run_batch(
-        collection,
-        mode=args.mode,
-        engine=args.engine,
-        chunk_size=args.chunk_size,
-        max_workers=args.max_workers,
-    ):
+    try:
+        results = spanner.run_batch(
+            collection,
+            mode=args.mode,
+            engine=args.engine,
+            chunk_size=args.chunk_size,
+            max_workers=args.max_workers,
+            kernel=args.kernel,
+        )
+    except ValueError as error:
+        print(f"repro batch: error: {error}", file=sys.stderr)
+        return 2
+    for doc_id, result in results:
         record: dict[str, object] = {"doc": str(doc_id)}
         if args.count_only:
             record["count"] = result.count()

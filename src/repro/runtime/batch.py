@@ -56,8 +56,9 @@ from repro.core.documents import DocumentCollection
 from repro.enumeration.evaluate import ResultDag, evaluate as reference_evaluate
 from repro.runtime.compiled import CompiledEVA
 from repro.runtime.dag import CompiledResultDag
-from repro.runtime.engine import EvaluationScratch, evaluate_compiled_arena
+from repro.runtime.engine import EvaluationScratch
 from repro.runtime.operators import OperatorResult, PhysicalOperator
+from repro.runtime.runlength import KERNELS, evaluate_arena_with_kernel
 from repro.runtime import sharding
 from repro.runtime.streaming import evaluate_streaming
 from repro.runtime.subset import CompiledSubsetEVA, evaluate_subset_arena
@@ -116,16 +117,21 @@ _worker_compiled: CompiledEVA | CompiledSubsetEVA | PhysicalOperator | None = No
 _worker_scratch: EvaluationScratch | None = None
 _worker_engine: str = "compiled"
 _worker_stream_chunk: int = 0  # 0: evaluate documents whole
+_worker_kernel: str = "auto"
 
 
-def _init_worker(compiled, engine: str, stream_chunk: int = 0) -> None:
+def _init_worker(
+    compiled, engine: str, stream_chunk: int = 0, kernel: str = "auto"
+) -> None:
     global _worker_compiled, _worker_scratch, _worker_engine, _worker_stream_chunk
+    global _worker_kernel
     _worker_compiled = compiled
     _worker_scratch = (
         EvaluationScratch(compiled) if isinstance(compiled, CompiledEVA) else None
     )
     _worker_engine = engine
     _worker_stream_chunk = stream_chunk
+    _worker_kernel = kernel
     # Prime the shard-task globals too, so the same pool can serve
     # intra-document shard tasks (run_batch's shard_min_chars path)
     # without a second automaton transfer.
@@ -133,20 +139,33 @@ def _init_worker(compiled, engine: str, stream_chunk: int = 0) -> None:
         sharding._init_shard_worker(compiled)
 
 
-def _evaluate_one(compiled, document: object, engine: str, scratch, stream_chunk: int = 0):
+def _evaluate_one(
+    compiled,
+    document: object,
+    engine: str,
+    scratch,
+    stream_chunk: int = 0,
+    kernel: str = "auto",
+):
     if engine == "hybrid":
         return compiled.execute(document)
     if engine == "reference":
         return reference_evaluate(compiled.source, document, check_determinism=False)
     if engine == "compiled-otf":
+        # The lazily determinized capture path has no run-length arena;
+        # it runs scalar regardless of the requested kernel.
         return evaluate_subset_arena(compiled, document)
     if stream_chunk:
         # Chunk-fed evaluation: same arena, array for array, but peak
         # memory is one encoded chunk instead of a whole-document buffer.
+        # Streaming never sees the whole run-length encoding, so it is
+        # always scalar (run_batch rejects kernel="runlength" up front).
         return evaluate_streaming(
             compiled, document, chunk_size=stream_chunk, scratch=scratch
         )
-    return evaluate_compiled_arena(compiled, document, scratch=scratch)
+    return evaluate_arena_with_kernel(
+        compiled, document, kernel=kernel, scratch=scratch
+    )
 
 
 def _process_chunk(chunk: list[tuple[object, object]]) -> list[tuple[object, tuple]]:
@@ -155,7 +174,12 @@ def _process_chunk(chunk: list[tuple[object, object]]) -> list[tuple[object, tup
     out = []
     for doc_id, document in chunk:
         result = _evaluate_one(
-            compiled, document, _worker_engine, _worker_scratch, _worker_stream_chunk
+            compiled,
+            document,
+            _worker_engine,
+            _worker_scratch,
+            _worker_stream_chunk,
+            _worker_kernel,
         )
         out.append((doc_id, freeze_result(result, compiled)))
     return out
@@ -198,6 +222,7 @@ def run_batch(
     streaming: bool = False,
     stream_chunk_size: int = 65536,
     shard_min_chars: int | None = None,
+    kernel: str = "auto",
 ) -> Iterator[tuple[object, ResultDag | CompiledResultDag | OperatorResult]]:
     """Evaluate *compiled* over every document, streaming the results.
 
@@ -239,6 +264,14 @@ def run_batch(
         before the small-document stream starts; yields stay in
         collection order.  ``None`` (default) disables sharding, and
         serial mode ignores it (there is no pool to shard across).
+    kernel:
+        Inner-loop kernel for the ``compiled`` engine:
+        ``"auto"`` (default — per document, by run-length statistics),
+        ``"scalar"``, or ``"runlength"``
+        (:mod:`repro.runtime.runlength`).  Results are identical either
+        way.  The other engines run scalar regardless; forcing
+        ``"runlength"`` on them, or on a streaming batch (which never
+        sees a whole run-length encoding), is an error.
 
     Yields
     ------
@@ -283,6 +316,18 @@ def run_batch(
         raise ValueError(
             f"stream_chunk_size must be positive, got {stream_chunk_size}"
         )
+    if kernel not in KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}; expected one of {KERNELS}")
+    if kernel == "runlength" and engine != "compiled":
+        raise ValueError(
+            f"engine {engine!r} has no run-length kernel; "
+            "kernel='runlength' needs the dense-table compiled engine"
+        )
+    if kernel == "runlength" and streaming:
+        raise ValueError(
+            "a streaming batch cannot force kernel='runlength': chunk-fed "
+            "evaluation never sees the whole run-length encoding"
+        )
     if shard_min_chars is not None:
         if shard_min_chars < 1:
             raise ValueError(
@@ -309,6 +354,7 @@ def run_batch(
         max_workers,
         stream_chunk,
         shard_min_chars,
+        kernel,
     )
 
 
@@ -321,6 +367,7 @@ def _stream_batch(
     max_workers: int | None,
     stream_chunk: int,
     shard_min_chars: int | None = None,
+    kernel: str = "auto",
 ) -> Iterator[tuple[object, ResultDag | CompiledResultDag | OperatorResult]]:
     pairs = _pairs_of(collection)
 
@@ -329,7 +376,9 @@ def _stream_batch(
             EvaluationScratch(compiled) if isinstance(compiled, CompiledEVA) else None
         )
         for doc_id, document in pairs:
-            yield doc_id, _evaluate_one(compiled, document, engine, scratch, stream_chunk)
+            yield doc_id, _evaluate_one(
+                compiled, document, engine, scratch, stream_chunk, kernel
+            )
         return
 
     workers = max_workers or os.cpu_count() or 1
@@ -337,7 +386,7 @@ def _stream_batch(
     pool = context.Pool(
         processes=workers,
         initializer=_init_worker,
-        initargs=(compiled, engine, stream_chunk),
+        initargs=(compiled, engine, stream_chunk, kernel),
     )
     try:
         # Outsized documents first, each sharded across the whole pool
@@ -356,7 +405,11 @@ def _stream_batch(
                 for doc_id, document in collection.items():
                     if doc_id in shard_ids:
                         sharded[doc_id] = sharding.evaluate_sharded(
-                            compiled, document, pool=submitter, shards=workers
+                            compiled,
+                            document,
+                            pool=submitter,
+                            shards=workers,
+                            kernel=kernel,
                         )
         small = (pair for pair in pairs if pair[0] not in shard_ids)
         small_results = (

@@ -148,6 +148,7 @@ class CompiledEVA:
         "silent",
         "_marker_decode",
         "_sprint_patterns",
+        "_runlength",
     )
 
     def __init__(
@@ -194,6 +195,10 @@ class CompiledEVA:
             self.class_table = tuple((NO_TARGET,) for _ in state_objects)
         self.silent = tuple(not row for row in variable_table)
         self._sprint_patterns: dict[int, re.Pattern] = {}
+        # The run-length kernel (repro.runtime.runlength) caches its
+        # per-class matrices here; like the sprint patterns it is derived
+        # and never pickled (__setstate__ re-runs __init__).
+        self._runlength = None
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -50,6 +50,7 @@ __all__ = [
     "SymbolClassing",
     "encoding_passes",
     "reset_encoding_passes",
+    "runs_of_buffer",
 ]
 
 #: How many fresh (non-cached) encoding passes have run since import (or the
@@ -70,6 +71,52 @@ def reset_encoding_passes() -> None:
     _fresh_passes = 0
 
 
+#: Maximal same-byte runs of a ``bytes`` class-id buffer, in one C-level
+#: regex pass (the backreference keeps the whole scan inside the engine).
+_RUN_PATTERN = re.compile(rb"(.)\1*", re.DOTALL)
+
+
+def runs_of_buffer(buffer) -> tuple[tuple[int, int], ...]:
+    """The run-length encoding of a class-id buffer: ``(class_id, length)``.
+
+    Works on both buffer flavours the encoders produce — ``bytes`` (scanned
+    with one C-level regex pass) and ``array('I')`` (grouped with
+    :func:`itertools.groupby`).  Shard workers call this directly on buffer
+    *slices*, so a run split across a shard boundary simply shows up as one
+    run per side; every consumer composes per-character, which makes the
+    split exact.
+    """
+    if isinstance(buffer, bytes):
+        return tuple(
+            (match.group()[0], match.end() - match.start())
+            for match in _RUN_PATTERN.finditer(buffer)
+        )
+    from itertools import groupby
+
+    return tuple(
+        (class_id, sum(1 for _ in group)) for class_id, group in groupby(buffer)
+    )
+
+
+#: Delimiter-probe window: segment statistics are estimated on a prefix so
+#: the probe stays O(1) in the document length.
+_SEGMENT_PROBE_CHARS = 65536
+#: A usable delimiter must cut the probe window into at least this many
+#: segments (fewer means the memo would amortize nothing) ...
+_SEGMENT_MIN_COUNT = 8
+#: ... of a bounded mean length (huge segments are effectively unique, so
+#: memoizing them would just cache the document) ...
+_SEGMENT_MAX_MEAN = 512
+#: ... and of a non-trivial mean length (a delimiter making up most of the
+#: buffer produces more segments than characters saved).
+_SEGMENT_MIN_MEAN = 4.0
+#: Segments between delimiter occurrences must actually repeat: at most
+#: this fraction of the probe window's segments may be distinct.
+_SEGMENT_MAX_DISTINCT_RATIO = 0.25
+
+_UNPROBED = object()
+
+
 class EncodedDocument:
     """A document translated once into a flat class-id buffer.
 
@@ -79,15 +126,25 @@ class EncodedDocument:
     original ``text`` is kept so that downstream consumers (span slicing,
     ``as_text``) keep working when an :class:`EncodedDocument` is passed
     where a document is expected.
+
+    Beside the buffer, the run-length view used by the run-length kernels
+    (:meth:`runs`, :meth:`mean_run_length`, :meth:`segment_delimiter`) is
+    memoized lazily *on this object*: it shares the buffer's lifetime and
+    its cache slot on the owning :class:`~repro.core.documents.Document`,
+    so evicting the encoding necessarily evicts the RLE view with it — the
+    two can never describe different classing signatures.  Pickling drops
+    the memo the same way the document-level encoding cache is dropped.
     """
 
-    __slots__ = ("text", "buffer", "length", "signature")
+    __slots__ = ("text", "buffer", "length", "signature", "_runs", "_delimiter")
 
     def __init__(self, text: str, buffer, signature: tuple) -> None:
         self.text = text
         self.buffer = buffer
         self.length = len(text)
         self.signature = signature
+        self._runs = None
+        self._delimiter = _UNPROBED
 
     def __len__(self) -> int:
         return self.length
@@ -95,6 +152,77 @@ class EncodedDocument:
     def __repr__(self) -> str:
         kind = "bytes" if isinstance(self.buffer, bytes) else "array"
         return f"EncodedDocument({self.length} chars, {kind} buffer)"
+
+    # ------------------------------------------------------------------ #
+    # Run-length view (lazy, evicted with the encoding, never pickled)
+    # ------------------------------------------------------------------ #
+
+    def runs(self) -> tuple[tuple[int, int], ...]:
+        """The RLE of the class-id buffer: maximal ``(class_id, length)`` runs."""
+        runs = self._runs
+        if runs is None:
+            runs = runs_of_buffer(self.buffer)
+            self._runs = runs
+        return runs
+
+    def mean_run_length(self) -> float:
+        """Average run length — the planner's repetitiveness statistic."""
+        runs = self.runs()
+        return self.length / len(runs) if runs else 0.0
+
+    def segment_delimiter(self) -> int | None:
+        """The class id the count kernel should segment this buffer on.
+
+        Probes a bounded prefix of the buffer for a byte value that cuts it
+        into many short *repeating* segments (for machine-generated text,
+        typically the record separator: segments between newlines are drawn
+        from a small set of class-id shapes even when the raw characters
+        differ).  Returns ``None`` when no byte qualifies — non-``bytes``
+        buffers, short documents, or genuinely non-repetitive content —
+        and memoizes either answer beside the buffer.
+        """
+        delimiter = self._delimiter
+        if delimiter is _UNPROBED:
+            delimiter = self._probe_delimiter()
+            self._delimiter = delimiter
+        return delimiter
+
+    def _probe_delimiter(self) -> int | None:
+        buffer = self.buffer
+        if not isinstance(buffer, bytes):
+            return None
+        prefix = buffer[:_SEGMENT_PROBE_CHARS]
+        best: tuple[int, int] | None = None
+        for value in set(prefix):
+            segments = prefix.split(bytes((value,)))
+            count = len(segments)
+            mean = len(prefix) / count
+            if (
+                count < _SEGMENT_MIN_COUNT
+                or mean > _SEGMENT_MAX_MEAN
+                or mean < _SEGMENT_MIN_MEAN
+            ):
+                continue
+            if len(set(segments)) > count * _SEGMENT_MAX_DISTINCT_RATIO:
+                continue
+            # The steady-state cost of the segmented count pass is one memo
+            # lookup per segment, so among qualifying delimiters the one
+            # producing the fewest segments wins.
+            if best is None or count < best[0]:
+                best = (count, value)
+        return None if best is None else best[1]
+
+    # ------------------------------------------------------------------ #
+    # Pickling drops the lazy run-length memo, mirroring the encoding
+    # cache dropped by Document.__getstate__.
+    # ------------------------------------------------------------------ #
+
+    def __getstate__(self):
+        return (self.text, self.buffer, self.signature)
+
+    def __setstate__(self, state) -> None:
+        text, buffer, signature = state
+        self.__init__(text, buffer, signature)
 
 
 class SymbolClassing:

@@ -73,6 +73,7 @@ from repro.automata.analysis import AutomatonStatistics
 
 __all__ = [
     "ENGINE_CHOICES",
+    "KERNEL_CHOICES",
     "CacheStats",
     "ExecutionPlan",
     "PlanCache",
@@ -84,6 +85,19 @@ __all__ = [
 #: meaningful for spanner-algebra expression sources (elsewhere the facade
 #: treats it as ``auto``).
 ENGINE_CHOICES = ("auto", "compiled", "compiled-otf", "reference", "hybrid")
+
+#: Inner-loop kernel names accepted by the facade and the CLI.  The axis
+#: is orthogonal to the engine choice: ``scalar`` is the per-character
+#: fold with the quiescent sprint, ``runlength`` evaluates the run-length
+#: encoded class buffer with per-class matrix powers
+#: (:mod:`repro.runtime.runlength`), and ``auto`` picks per document from
+#: its measured run-length statistics.  Unlike ``engine``, a plan may
+#: carry ``kernel="auto"``: the decision is inherently per-document
+#: (mean run length is a document property, not an automaton property).
+#: ``repro.runtime.runlength.KERNELS`` mirrors this tuple — the kernel
+#: module stays outside the strictly-typed surface, so the constant is
+#: duplicated and a unit test pins the two equal.
+KERNEL_CHOICES = ("auto", "scalar", "runlength")
 
 #: Above this many sequential-automaton states, ``auto`` refuses to
 #: determinize a non-deterministic automaton up front: the subset
@@ -111,11 +125,31 @@ class ExecutionPlan:
     operators: object | None = None
     streaming: bool = False
     shard_workers: int = 1
+    kernel: str = "auto"
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINE_CHOICES or self.engine == "auto":
             raise ValueError(
                 f"an ExecutionPlan needs a concrete engine, got {self.engine!r}"
+            )
+        if self.kernel not in KERNEL_CHOICES:
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; expected one of "
+                f"{KERNEL_CHOICES}"
+            )
+        if self.kernel == "runlength" and self.engine not in (
+            "compiled",
+            "compiled-otf",
+        ):
+            raise ValueError(
+                f"engine {self.engine!r} has no run-length kernel; "
+                "kernel='runlength' needs the dense or lazily determinized "
+                "class tables (engine='compiled' or 'compiled-otf')"
+            )
+        if self.kernel == "runlength" and self.streaming:
+            raise ValueError(
+                "a streaming plan cannot force kernel='runlength': chunk-fed "
+                "evaluation never sees the whole run-length encoding"
             )
         if self.engine == "hybrid" and self.operators is None:
             raise ValueError(
@@ -155,6 +189,7 @@ def choose_plan(
     otf_state_threshold: int = DEFAULT_OTF_STATE_THRESHOLD,
     streaming: bool = False,
     shard_workers: int = 1,
+    kernel: str = "auto",
 ) -> ExecutionPlan:
     """Resolve *engine* into an :class:`ExecutionPlan`.
 
@@ -162,6 +197,14 @@ def choose_plan(
     automaton and carry its ``deterministic`` flag; it is only consulted
     (and only required) when *engine* is ``"auto"``.  A concrete *engine*
     is honoured as-is.
+
+    *kernel* rides along unresolved unless it is invalid for the engine
+    the plan lands on: the ``auto`` kernel is resolved per document at
+    evaluation time (``repro.runtime.runlength.prefers_runlength`` keys
+    on the measured mean run length of the encoded buffer — automaton
+    statistics cannot see it), so the plan records the caller's intent
+    and the engines dispatch.  A streaming plan pins ``kernel="scalar"``
+    because chunk-fed evaluation never sees whole runs.
 
     With ``streaming=True`` the plan evaluates chunk-fed documents
     through :class:`~repro.runtime.streaming.StreamingEvaluator`.  Only
@@ -182,6 +225,10 @@ def choose_plan(
     if engine not in ENGINE_CHOICES:
         raise ValueError(
             f"unknown engine {engine!r}; expected one of {ENGINE_CHOICES}"
+        )
+    if kernel not in KERNEL_CHOICES:
+        raise ValueError(
+            f"unknown kernel {kernel!r}; expected one of {KERNEL_CHOICES}"
         )
     if shard_workers < 1:
         raise ValueError(f"shard_workers must be positive, got {shard_workers}")
@@ -204,6 +251,7 @@ def choose_plan(
             "summaries need the dense tables up front (documents below the "
             "size threshold still run the serial arena engine)",
             shard_workers=shard_workers,
+            kernel=kernel,
         )
     if streaming:
         if engine not in ("auto", "compiled"):
@@ -211,12 +259,18 @@ def choose_plan(
                 f"engine {engine!r} cannot evaluate chunk-fed documents; "
                 "streaming supports engine='compiled' (or 'auto')"
             )
+        if kernel == "runlength":
+            raise ValueError(
+                "streaming cannot force kernel='runlength': chunk-fed "
+                "evaluation never sees the whole run-length encoding"
+            )
         return ExecutionPlan(
             "compiled",
             True,
             "streaming: chunk-fed evaluation needs the dense tables "
             "(and their settled-sink analysis) up front",
             streaming=True,
+            kernel="scalar",
         )
     if engine == "hybrid":
         raise ValueError(
@@ -224,17 +278,22 @@ def choose_plan(
             "(repro.algebra.optimizer.optimize), not by choose_plan"
         )
     if engine == "reference":
-        return ExecutionPlan("reference", True, "forced by caller")
+        return ExecutionPlan("reference", True, "forced by caller", kernel=kernel)
     if engine == "compiled":
-        return ExecutionPlan("compiled", True, "forced by caller")
+        return ExecutionPlan("compiled", True, "forced by caller", kernel=kernel)
     if engine == "compiled-otf":
-        return ExecutionPlan("compiled-otf", False, "forced by caller")
+        return ExecutionPlan(
+            "compiled-otf", False, "forced by caller", kernel=kernel
+        )
 
     if stats is None:
         raise ValueError("engine='auto' needs the sequential automaton's statistics")
     if stats.deterministic:
         return ExecutionPlan(
-            "compiled", True, "already deterministic: dense tables at no extra cost"
+            "compiled",
+            True,
+            "already deterministic: dense tables at no extra cost",
+            kernel=kernel,
         )
     if stats.num_states > otf_state_threshold:
         return ExecutionPlan(
@@ -243,12 +302,14 @@ def choose_plan(
             f"non-deterministic with {stats.num_states} states "
             f"(> {otf_state_threshold}): up-front subset construction may "
             "be exponential, determinize on the fly",
+            kernel=kernel,
         )
     return ExecutionPlan(
         "compiled",
         True,
         f"non-deterministic but small ({stats.num_states} states "
         f"<= {otf_state_threshold}): determinize once, reuse dense tables",
+        kernel=kernel,
     )
 
 

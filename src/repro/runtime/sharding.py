@@ -67,6 +67,11 @@ from repro.core.errors import EvaluationError, NotDeterministicError
 from repro.runtime.compiled import CompiledEVA
 from repro.runtime.dag import NIL, CompiledResultDag
 from repro.runtime.engine import _sprint
+from repro.runtime.runlength import (
+    count_vectors_runlength,
+    resolve_kernel,
+    summary_runlength,
+)
 
 __all__ = [
     "DEFAULT_SHARD_MIN_CHARS",
@@ -850,6 +855,22 @@ def _summary_task(payload: tuple) -> tuple:
     return index, summary, perf_counter() - started
 
 
+def _summary_task_rl(payload: tuple) -> tuple:
+    """The summary pass over the shard's run-length encoding.
+
+    Same payload and result shape as :func:`_summary_task`, but each run
+    of ``k`` identical classes costs ``O(log k)`` Boolean row
+    applications (:func:`repro.runtime.runlength.summary_runlength`)
+    instead of ``k`` characters — the per-run matrices compose with the
+    per-shard summary stitch unchanged, because both express the same
+    per-position state-set transition.
+    """
+    index, buf, n = payload
+    started = perf_counter()
+    summary = summary_runlength(_worker_automaton(), buf, n)
+    return index, summary, perf_counter() - started
+
+
 def _replay_task(payload: tuple) -> tuple:
     index, buf, n, base, entries, is_first, is_last = payload
     started = perf_counter()
@@ -874,6 +895,21 @@ def _count_task(payload: tuple) -> tuple:
         entry: _count_run(compiled, buf, n, entry, include_final, _WORKER_FAST_PATH)
         for entry in entries
     }
+    return index, vectors, perf_counter() - started
+
+
+def _count_task_rl(payload: tuple) -> tuple:
+    """Per-entry count vectors via the run-product algebra.
+
+    Same payload and result shape as :func:`_count_task`; the stitch in
+    :func:`count_sharded` consumes both interchangeably (the property
+    suite pins the vectors equal entry for entry).
+    """
+    index, buf, n, entries, include_final = payload
+    started = perf_counter()
+    vectors = count_vectors_runlength(
+        _worker_automaton(), buf[:n], entries, include_final
+    )
     return index, vectors, perf_counter() - started
 
 
@@ -989,9 +1025,16 @@ def evaluate_sharded(
     pool=None,
     fast_path: bool = True,
     metrics: ShardMetrics | None = None,
+    kernel: str = "scalar",
 ) -> CompiledResultDag:
     """Evaluate *document* shard-parallel; the arena is bit-identical to
     :func:`~repro.runtime.engine.evaluate_compiled_arena`'s.
+
+    ``kernel`` selects how interior shards are *summarized*: the scalar
+    frontier walk or the run-length Boolean powers (``"auto"`` resolves
+    from the document's measured run statistics).  Replay always runs
+    the scalar arena engine — capture fragments must be bit-identical,
+    and the runlength arena evaluator is a whole-document engine.
 
     Pass a persistent :class:`ShardPool` (or :func:`adapt_pool` wrapper)
     to fan shards out to worker processes; with ``pool=None`` the same
@@ -1021,6 +1064,11 @@ def evaluate_sharded(
     bounds = plan_shards(n, shards)
     total = len(bounds)
     initial = compiled.initial
+    summary_task = (
+        _summary_task_rl
+        if resolve_kernel(kernel, encoded) == "runlength"
+        else _summary_task
+    )
 
     summary_seconds = 0.0
     replay_seconds = 0.0
@@ -1047,7 +1095,7 @@ def evaluate_sharded(
     ]
     for index in range(1, total - 1):
         begin, end = bounds[index]
-        round_one.append((_summary_task, (index, buf[begin:end], end - begin)))
+        round_one.append((summary_task, (index, buf[begin:end], end - begin)))
     for result in _run_tasks(pool, compiled, fast_path, round_one):
         index, value, seconds = result
         if index == 0:
@@ -1115,6 +1163,7 @@ def count_sharded(
     pool=None,
     fast_path: bool = True,
     metrics: ShardMetrics | None = None,
+    kernel: str = "scalar",
 ) -> int:
     """Algorithm 3 shard-parallel — no replay pass at all.
 
@@ -1123,6 +1172,11 @@ def count_sharded(
     accumulation: the boundary vector entering shard ``k+1`` is the
     boundary vector entering ``k`` pushed through ``k``'s vectors.  The
     total equals :func:`~repro.runtime.engine.count_compiled` exactly.
+
+    ``kernel="runlength"`` (or ``"auto"`` resolving to it) computes both
+    the interior summaries and the per-entry count vectors through the
+    run-product algebra of :mod:`repro.runtime.runlength` — same
+    summaries, same vectors, ``O(log k)`` per run.
     """
     if pool is not None and workers is None:
         workers = pool.workers
@@ -1139,6 +1193,10 @@ def count_sharded(
     bounds = plan_shards(n, shards)
     total = len(bounds)
     initial = compiled.initial
+    if resolve_kernel(kernel, encoded) == "runlength":
+        summary_task, count_task = _summary_task_rl, _count_task_rl
+    else:
+        summary_task, count_task = _summary_task, _count_task
 
     summary_seconds = 0.0
     replay_seconds = 0.0
@@ -1151,7 +1209,7 @@ def count_sharded(
     first_begin, first_end = bounds[0]
     round_one: list = [
         (
-            _count_task,
+            count_task,
             (
                 0,
                 buf[first_begin:first_end],
@@ -1163,7 +1221,7 @@ def count_sharded(
     ]
     for index in range(1, total - 1):
         begin, end = bounds[index]
-        round_one.append((_summary_task, (index, buf[begin:end], end - begin)))
+        round_one.append((summary_task, (index, buf[begin:end], end - begin)))
     for result in _run_tasks(pool, compiled, fast_path, round_one):
         index, value, seconds = result
         if index == 0:
@@ -1191,7 +1249,7 @@ def count_sharded(
         begin, end = bounds[index]
         round_two.append(
             (
-                _count_task,
+                count_task,
                 (
                     index,
                     buf[begin:end],

@@ -63,17 +63,19 @@ from repro.regex.ast import RegexNode
 from repro.regex.parser import parse_regex
 from repro.runtime.batch import run_batch as run_batch_compiled
 from repro.runtime.compiled import CompiledEVA
-from repro.runtime.engine import (
-    EvaluationScratch,
-    count_compiled,
-    evaluate_compiled_arena,
-)
+from repro.runtime.engine import EvaluationScratch
 from repro.runtime.plan import (
     ENGINE_CHOICES,
+    KERNEL_CHOICES,
     CacheStats,
     ExecutionPlan,
     PlanCache,
     choose_plan,
+)
+from repro.runtime.runlength import (
+    count_subset_with_kernel,
+    count_with_kernel,
+    evaluate_arena_with_kernel,
 )
 from repro.runtime.sharding import (
     DEFAULT_SHARD_MIN_CHARS,
@@ -82,7 +84,7 @@ from repro.runtime.sharding import (
     evaluate_sharded,
 )
 from repro.runtime.streaming import StreamingEvaluator
-from repro.runtime.subset import CompiledSubsetEVA, count_subset, evaluate_subset_arena
+from repro.runtime.subset import CompiledSubsetEVA, evaluate_subset_arena
 from repro.spanners.pipeline import CompilationPipeline, CompilationReport
 
 __all__ = ["Spanner"]
@@ -128,6 +130,7 @@ class Spanner:
         alphabet: Iterable[str] = (),
         *,
         engine: str = "auto",
+        kernel: str = "auto",
         max_cached_alphabets: int = 8,
         unchecked: bool = False,
         shard_min_chars: int = DEFAULT_SHARD_MIN_CHARS,
@@ -135,6 +138,10 @@ class Spanner:
         if engine not in ENGINE_CHOICES:
             raise ValueError(
                 f"unknown engine {engine!r}; expected one of {ENGINE_CHOICES}"
+            )
+        if kernel not in KERNEL_CHOICES:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; expected one of {KERNEL_CHOICES}"
             )
         if shard_min_chars < 1:
             raise ValueError(
@@ -144,6 +151,7 @@ class Spanner:
             source = parse_regex(source)
         self._pipeline = CompilationPipeline(source, alphabet)
         self._engine = engine
+        self._kernel = kernel
         self._unchecked = unchecked
         # Documents shorter than this run serially even when ``workers``
         # asks for shard parallelism: below the threshold the serial arena
@@ -200,6 +208,18 @@ class Spanner:
         """The default evaluation engine (one of ``ENGINE_CHOICES``)."""
         return self._engine
 
+    @property
+    def kernel(self) -> str:
+        """The default inner-loop kernel (one of ``KERNEL_CHOICES``).
+
+        ``auto`` resolves per document from its measured run-length
+        statistics; ``runlength`` forces the run-length kernels of
+        :mod:`repro.runtime.runlength` on the count and arena paths
+        (engines without a run-length path — ``reference``, ``hybrid``
+        and the ``compiled-otf`` capture path — reject or ignore it).
+        """
+        return self._kernel
+
     def variables(self) -> frozenset[str]:
         """The capture variables of the spanner."""
         return frozenset(self._pipeline.source.variables())
@@ -224,9 +244,15 @@ class Spanner:
         """The lazily determinized runtime used by ``engine="compiled-otf"``."""
         return self._otf_runtime_for_key(self._alphabet_key(document))
 
-    def plan(self, document: object = "", *, engine: str | None = None) -> ExecutionPlan:
+    def plan(
+        self,
+        document: object = "",
+        *,
+        engine: str | None = None,
+        kernel: str | None = None,
+    ) -> ExecutionPlan:
         """The :class:`ExecutionPlan` that would evaluate *document*."""
-        return self._plan_for_key(self._alphabet_key(document), engine)
+        return self._plan_for_key(self._alphabet_key(document), engine, kernel)
 
     @property
     def max_cached_alphabets(self) -> int:
@@ -364,11 +390,21 @@ class Spanner:
                 "documents (engine='hybrid'/'auto') instead"
             )
 
-    def _plan_for_key(self, key: frozenset[str], engine: str | None) -> ExecutionPlan:
+    def _plan_for_key(
+        self,
+        key: frozenset[str],
+        engine: str | None,
+        kernel: str | None = None,
+    ) -> ExecutionPlan:
         engine = self._engine if engine is None else engine
+        kernel = self._kernel if kernel is None else kernel
         if engine not in ENGINE_CHOICES:
             raise ValueError(
                 f"unknown engine {engine!r}; expected one of {ENGINE_CHOICES}"
+            )
+        if kernel not in KERNEL_CHOICES:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; expected one of {KERNEL_CHOICES}"
             )
         # Expression sources consult the cost-based optimizer: when it cuts
         # the tree, both "auto" and the explicit "hybrid" run the physical
@@ -392,18 +428,28 @@ class Spanner:
                         f"rewrites=[{', '.join(optimized.applied_rules) or 'none'}]",
                         operators=optimized.physical,
                     )
+                # An explicit runlength kernel cannot ride a hybrid plan;
+                # replace() re-validates and raises the plan-layer error.
+                if state.plan.kernel != kernel:
+                    return replace(state.plan, kernel=kernel)
                 return state.plan
         if engine == "hybrid":
             engine = "auto"
         if engine != "auto":
-            return choose_plan(engine=engine)
+            return choose_plan(engine=engine, kernel=kernel)
         state = self._state_for_key(key)
         if state.plan is None or state.plan.engine == "hybrid":
             state.plan = choose_plan(self._planner_stats(key), engine="auto")
+        if state.plan.kernel != kernel:
+            return replace(state.plan, kernel=kernel)
         return state.plan
 
     def _sharded_plan_for_key(
-        self, key: frozenset[str], engine: str | None, workers: int
+        self,
+        key: frozenset[str],
+        engine: str | None,
+        workers: int,
+        kernel: str | None = None,
     ) -> ExecutionPlan:
         """Resolve a shard-parallel plan (``workers > 1``) for *key*.
 
@@ -424,7 +470,11 @@ class Spanner:
                 )
         if engine == "hybrid":
             engine = "auto"
-        return choose_plan(engine=engine, shard_workers=workers)
+        return choose_plan(
+            engine=engine,
+            shard_workers=workers,
+            kernel=self._kernel if kernel is None else kernel,
+        )
 
     def _shard_pool_for_key(self, key: frozenset[str], workers: int) -> ShardPool:
         """The per-alphabet persistent shard worker pool (lazily built).
@@ -476,6 +526,7 @@ class Spanner:
         *,
         engine: str | None = None,
         workers: int | None = None,
+        kernel: str | None = None,
     ):
         """Run only the preprocessing phase (Algorithm 1) on *document*.
 
@@ -492,12 +543,19 @@ class Spanner:
         shard, and documents shorter than the spanner's
         ``shard_min_chars`` run serially anyway — the pool is then never
         even started.
+
+        *kernel* overrides the spanner's default inner loop for the
+        ``compiled`` engine: ``"runlength"`` evaluates the run-length
+        encoded buffer with the generalized sprint (the arena stays
+        bit-identical), ``"auto"`` decides per document.  The
+        ``compiled-otf`` capture path has no run-length arena and runs
+        scalar regardless.
         """
         key = self._alphabet_key(document)
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be positive, got {workers}")
         if workers is not None and workers > 1:
-            plan = self._sharded_plan_for_key(key, engine, workers)
+            plan = self._sharded_plan_for_key(key, engine, workers, kernel)
             runtime = self._runtime_for_key(key)
             if len(as_text(document)) >= self._shard_min_chars:
                 return evaluate_sharded(
@@ -505,11 +563,15 @@ class Spanner:
                     document,
                     pool=self._shard_pool_for_key(key, plan.shard_workers),
                     shards=plan.shard_workers,
+                    kernel=plan.kernel,
                 )
-            return evaluate_compiled_arena(
-                runtime, document, scratch=self._scratch_for_key(key)
+            return evaluate_arena_with_kernel(
+                runtime,
+                document,
+                kernel=plan.kernel,
+                scratch=self._scratch_for_key(key),
             )
-        plan = self._plan_for_key(key, engine)
+        plan = self._plan_for_key(key, engine, kernel)
         if plan.engine == "hybrid":
             return plan.operators.execute(document)
         if plan.engine == "reference":
@@ -517,8 +579,11 @@ class Spanner:
             return run_evaluate(automaton, document, check_determinism=False)
         if plan.engine == "compiled-otf":
             return evaluate_subset_arena(self._otf_runtime_for_key(key), document)
-        return evaluate_compiled_arena(
-            self._runtime_for_key(key), document, scratch=self._scratch_for_key(key)
+        return evaluate_arena_with_kernel(
+            self._runtime_for_key(key),
+            document,
+            kernel=plan.kernel,
+            scratch=self._scratch_for_key(key),
         )
 
     def enumerate(
@@ -527,9 +592,14 @@ class Spanner:
         *,
         engine: str | None = None,
         workers: int | None = None,
+        kernel: str | None = None,
     ) -> Iterator[Mapping]:
         """Enumerate ``⟦γ⟧(d)`` with constant delay after linear preprocessing."""
-        return iter(self.preprocess(document, engine=engine, workers=workers))
+        return iter(
+            self.preprocess(
+                document, engine=engine, workers=workers, kernel=kernel
+            )
+        )
 
     def evaluate(
         self,
@@ -537,9 +607,14 @@ class Spanner:
         *,
         engine: str | None = None,
         workers: int | None = None,
+        kernel: str | None = None,
     ) -> list[Mapping]:
         """Return the full list of output mappings."""
-        return list(self.enumerate(document, engine=engine, workers=workers))
+        return list(
+            self.enumerate(
+                document, engine=engine, workers=workers, kernel=kernel
+            )
+        )
 
     def stream(
         self,
@@ -593,6 +668,7 @@ class Spanner:
         *,
         mode: str = "serial",
         engine: str | None = None,
+        kernel: str | None = None,
         chunk_size: int = 16,
         max_workers: int | None = None,
         streaming: bool = False,
@@ -633,11 +709,13 @@ class Spanner:
             key = frozenset()
         if streaming:
             plan = choose_plan(
-                engine=self._engine if engine is None else engine, streaming=True
+                engine=self._engine if engine is None else engine,
+                streaming=True,
+                kernel=self._kernel if kernel is None else kernel,
             )
             self._reject_hybrid_streaming(key)
         else:
-            plan = self._plan_for_key(key, engine)
+            plan = self._plan_for_key(key, engine, kernel)
         if plan.engine == "hybrid":
             compiled: object = plan.operators
         elif plan.engine == "compiled-otf":
@@ -649,6 +727,7 @@ class Spanner:
             documents,
             mode=mode,
             engine=plan.engine,
+            kernel=plan.kernel,
             chunk_size=chunk_size,
             max_workers=max_workers,
             streaming=plan.streaming,
@@ -662,6 +741,7 @@ class Spanner:
         *,
         engine: str | None = None,
         workers: int | None = None,
+        kernel: str | None = None,
     ) -> int:
         """Count ``|⟦γ⟧(d)|`` with Algorithm 3 (no enumeration).
 
@@ -670,12 +750,18 @@ class Spanner:
         original dict-based loop.  ``workers > 1`` shards the count pass
         the same way :meth:`preprocess` shards evaluation — without even
         a replay phase, since counts compose linearly across shards.
+
+        *kernel* overrides the spanner's default inner loop:
+        ``"runlength"`` turns the count pass into a product of per-run
+        matrices (:mod:`repro.runtime.runlength`) on both the dense and
+        the lazily determinized tables; ``"auto"`` decides per document
+        from its measured run statistics.
         """
         key = self._alphabet_key(document)
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be positive, got {workers}")
         if workers is not None and workers > 1:
-            shard_plan = self._sharded_plan_for_key(key, engine, workers)
+            shard_plan = self._sharded_plan_for_key(key, engine, workers, kernel)
             runtime = self._runtime_for_key(key)
             if len(as_text(document)) >= self._shard_min_chars:
                 return count_sharded(
@@ -683,11 +769,15 @@ class Spanner:
                     document,
                     pool=self._shard_pool_for_key(key, shard_plan.shard_workers),
                     shards=shard_plan.shard_workers,
+                    kernel=shard_plan.kernel,
                 )
-            return count_compiled(
-                runtime, document, scratch=self._scratch_for_key(key)
+            return count_with_kernel(
+                runtime,
+                document,
+                kernel=shard_plan.kernel,
+                scratch=self._scratch_for_key(key),
             )
-        plan = self._plan_for_key(key, engine)
+        plan = self._plan_for_key(key, engine, kernel)
         if plan.engine == "hybrid":
             # Cut-edge operators dedup while materializing, so the count is
             # the size of the (already deduplicated) result set.
@@ -696,9 +786,14 @@ class Spanner:
             automaton, _report = self._compiled_for_key(key)
             return count_mappings(automaton, document, check_determinism=False)
         if plan.engine == "compiled-otf":
-            return count_subset(self._otf_runtime_for_key(key), document)
-        return count_compiled(
-            self._runtime_for_key(key), document, scratch=self._scratch_for_key(key)
+            return count_subset_with_kernel(
+                self._otf_runtime_for_key(key), document, kernel=plan.kernel
+            )
+        return count_with_kernel(
+            self._runtime_for_key(key),
+            document,
+            kernel=plan.kernel,
+            scratch=self._scratch_for_key(key),
         )
 
     def extract(
@@ -707,6 +802,7 @@ class Spanner:
         *,
         engine: str | None = None,
         workers: int | None = None,
+        kernel: str | None = None,
     ) -> list[dict[str, str]]:
         """Return the extracted text per output mapping.
 
@@ -716,7 +812,9 @@ class Spanner:
         text = as_text(document)
         return [
             mapping.contents(text)
-            for mapping in self.enumerate(document, engine=engine, workers=workers)
+            for mapping in self.enumerate(
+                document, engine=engine, workers=workers, kernel=kernel
+            )
         ]
 
     def __call__(self, document: object) -> list[Mapping]:

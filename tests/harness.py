@@ -15,7 +15,12 @@ of the library against each other on one ``(spanner, document)`` pair:
   sets) against the serial arena engine over adversarial shard counts:
   one-character shards, more shards than characters, and seeded counts
   that land boundaries inside quiescent sprint runs and between the
-  codepoints of multi-byte text.
+  codepoints of multi-byte text;
+* the run-length kernel (:mod:`repro.runtime.runlength`): its count
+  must equal the scalar count and its generalized-sprint arena must be
+  bit-identical to the scalar arena with the fast path both on and off,
+  and the sharded count is re-run with ``kernel="runlength"`` so
+  interior-shard summary passes go through the matrix path too.
 
 The streaming evaluator is opened over the document's own alphabet —
 exactly the alphabet key the facade derives for whole-document
@@ -37,6 +42,7 @@ import random
 from repro import Spanner, StreamingError
 from repro.core.documents import as_text
 from repro.runtime.engine import count_compiled, evaluate_compiled_arena
+from repro.runtime.runlength import count_runlength, evaluate_runlength_arena
 from repro.runtime.sharding import count_sharded, evaluate_sharded
 
 __all__ = [
@@ -203,14 +209,33 @@ def assert_all_engines_agree(
             f"count({engine!r}) = {count}, enumeration found {len(expected)}"
         )
 
+    # The run-length kernel is held to the sharding engine's standard:
+    # its count must match the scalar Algorithm 3 exactly and its
+    # generalized-sprint arena must be bit-identical to the scalar
+    # arena — with the fast path both on (runs jumped via the Boolean
+    # reachability matrices) and off (every character stepped).
+    runtime = spanner.runtime(text)
+    serial_arena = evaluate_compiled_arena(runtime, text)
+    serial_count = count_compiled(runtime, text)
+    assert count_runlength(runtime, text) == serial_count, (
+        f"count_runlength = {count_runlength(runtime, text)}, "
+        f"scalar count = {serial_count}"
+    )
+    for fast_path in (True, False):
+        runlength_arena = evaluate_runlength_arena(
+            runtime, text, fast_path=fast_path
+        )
+        assert_arena_identical(
+            runlength_arena,
+            serial_arena,
+            context=f" (runlength kernel, fast_path={fast_path})",
+        )
+
     if sharded:
         # The shard-parallel engine is held to a stronger standard than
         # agreement on mapping sets: its stitched arena must be
         # bit-identical to the serial one for every shard count, and the
         # replay-free sharded count must be exact.
-        runtime = spanner.runtime(text)
-        serial_arena = evaluate_compiled_arena(runtime, text)
-        serial_count = count_compiled(runtime, text)
         for shards in adversarial_shard_counts(len(text), seed=seed):
             arena = evaluate_sharded(runtime, text, shards=shards)
             assert_arena_identical(
@@ -220,6 +245,13 @@ def assert_all_engines_agree(
             assert sharded_count == serial_count, (
                 f"count_sharded(shards={shards}) = {sharded_count}, "
                 f"serial count = {serial_count}"
+            )
+            runlength_count = count_sharded(
+                runtime, text, shards=shards, kernel="runlength"
+            )
+            assert runlength_count == serial_count, (
+                f"count_sharded(shards={shards}, kernel='runlength') = "
+                f"{runlength_count}, serial count = {serial_count}"
             )
             assert _mapping_set(arena) == expected, (
                 f"sharded enumeration (shards={shards}) disagrees"

@@ -1,0 +1,181 @@
+"""Property tests: the run-length kernel is exactly the scalar engine.
+
+Three families of guarantees over generated spanners and adversarial
+documents (run length 1, empty documents, single-class alphabets, foreign
+characters planted mid-run):
+
+* **Counting** — :func:`count_runlength` equals the scalar
+  :func:`count_compiled` equals the reference enumeration's cardinality,
+  and the numpy ``int64`` run path (when numpy is importable) is
+  bit-equal to the arbitrary-precision Python rows.
+
+* **Arenas** — :func:`evaluate_runlength_arena` is array-for-array
+  identical to the scalar arena with the generalized sprint both on and
+  off (through the shared harness helper, which also re-runs the whole
+  cross-engine matrix with the run-length pass wired in).
+
+* **Sharding** — ``count_sharded(kernel="runlength")`` is exact for
+  adversarial shard counts whose boundaries split runs, and the
+  run-length shard summary composes exactly like the scalar one.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from harness import (
+    adversarial_documents,
+    assert_all_engines_agree,
+    assert_arena_identical,
+)
+
+from repro import Spanner
+from repro.runtime.engine import count_compiled, evaluate_compiled_arena
+from repro.runtime.runlength import (
+    count_runlength,
+    count_subset_runlength,
+    evaluate_runlength_arena,
+    numpy_available,
+    summary_runlength,
+)
+from repro.runtime.sharding import (
+    compose_summaries,
+    count_sharded,
+    shard_summary,
+)
+
+#: Run-length-hostile regimes: capture state fanning out inside a run
+#: (the `general` count kind), captures opened and closed by run
+#: boundaries, run death on foreign characters, and single-letter
+#: patterns whose every document is one or two giant runs.
+PATTERNS = [
+    ".*x{a+}.*",
+    "x{a*}b*",
+    ".*x{ab}y{b*}a.*",
+    "x{a}b",
+    ".*x{aé*b}.*",
+    "a*x{b*}a*",
+]
+
+DOCUMENT_ALPHABET = "abé\x00"
+
+#: Biased toward long runs: plain text plus run-structured documents
+#: assembled from (char, length) pairs, so generated documents actually
+#: exercise multi-step jumps instead of degenerating to run length 1.
+run_documents = st.lists(
+    st.tuples(
+        st.sampled_from(DOCUMENT_ALPHABET),
+        st.integers(min_value=1, max_value=12),
+    ),
+    max_size=6,
+).map(lambda pairs: "".join(char * length for char, length in pairs))
+documents = st.one_of(st.text(alphabet=DOCUMENT_ALPHABET, max_size=24), run_documents)
+patterns = st.sampled_from(PATTERNS)
+
+
+def _runtime(pattern: str, text: str):
+    spanner = Spanner.from_regex(pattern)
+    return spanner._runtime_for_key(spanner._alphabet_key(text))
+
+
+@settings(max_examples=60, deadline=None)
+@given(pattern=patterns, text=documents)
+def test_count_equals_scalar_and_reference(pattern, text):
+    runtime = _runtime(pattern, text)
+    spanner = Spanner.from_regex(pattern)
+    expected = count_compiled(runtime, text)
+    assert count_runlength(runtime, text) == expected
+    assert count_runlength(runtime, text, use_numpy=False) == expected
+    assert len(list(spanner.evaluate(text, engine="reference"))) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(pattern=patterns, text=documents)
+def test_numpy_path_is_bit_equal_to_python_rows(pattern, text):
+    if not numpy_available():
+        return
+    runtime = _runtime(pattern, text)
+    assert count_runlength(runtime, text, use_numpy=True) == count_runlength(
+        runtime, text, use_numpy=False
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(pattern=patterns, text=documents)
+def test_arena_is_bit_identical_both_fast_paths(pattern, text):
+    runtime = _runtime(pattern, text)
+    serial = evaluate_compiled_arena(runtime, text)
+    for fast_path in (True, False):
+        arena = evaluate_runlength_arena(runtime, text, fast_path=fast_path)
+        assert_arena_identical(
+            arena, serial, context=f" (runlength fast_path={fast_path})"
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    pattern=patterns,
+    text=documents,
+    shards=st.integers(min_value=1, max_value=30),
+)
+def test_sharded_runlength_count_is_exact(pattern, text, shards):
+    runtime = _runtime(pattern, text)
+    assert count_sharded(
+        runtime, text, shards=shards, kernel="runlength"
+    ) == count_compiled(runtime, text)
+
+
+@settings(max_examples=40, deadline=None)
+@given(pattern=patterns, text=documents, data=st.data())
+def test_runlength_summaries_compose_like_scalar_ones(pattern, text, data):
+    """summary_runlength == shard_summary on every slice, and composing
+    two adjacent run-length summaries equals the whole-buffer one."""
+    runtime = _runtime(pattern, text)
+    encoded = runtime.encode(text)
+    buf, length = encoded.buffer, encoded.length
+    cut = data.draw(st.integers(min_value=0, max_value=length))
+
+    first = summary_runlength(runtime, buf[:cut], cut)
+    second = summary_runlength(runtime, buf[cut:], length - cut)
+    assert first == shard_summary(runtime, buf[:cut], cut)
+    assert second == shard_summary(runtime, buf[cut:], length - cut)
+    assert compose_summaries(first, second) == summary_runlength(
+        runtime, buf, length
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(pattern=patterns, text=documents)
+def test_subset_count_matches_dense_count(pattern, text):
+    spanner = Spanner.from_regex(pattern)
+    subset = spanner._otf_runtime_for_key(spanner._alphabet_key(text))
+    runtime = spanner._runtime_for_key(spanner._alphabet_key(text))
+    assert count_subset_runlength(subset, text) == count_compiled(
+        runtime, text
+    )
+
+
+def test_adversarial_corpus_through_the_full_harness():
+    """Every corpus document through the full cross-engine matrix —
+    the harness's run-length pass pins counts and bit-identical arenas
+    against every other engine on the same automaton."""
+    for pattern in PATTERNS:
+        spanner = Spanner.from_regex(pattern)
+        for text in adversarial_documents(seed=23):
+            assert_all_engines_agree(
+                pattern, text, seed=23, streaming=False, spanner=spanner
+            )
+
+
+def test_runs_split_across_shard_boundaries_exactly():
+    """A document of few giant runs, sharded so boundaries always land
+    mid-run: the run-product summaries of interior shards must stitch
+    to the exact count."""
+    pattern = ".*x{a+}.*"
+    text = "b" * 7 + "a" * 61 + "b" * 5 + "a" * 38 + "b" * 3
+    runtime = _runtime(pattern, text)
+    expected = count_compiled(runtime, text)
+    assert expected > 0
+    for shards in (2, 3, 5, 7, 11, len(text), len(text) + 3):
+        assert (
+            count_sharded(runtime, text, shards=shards, kernel="runlength")
+            == expected
+        )

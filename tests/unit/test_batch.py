@@ -119,6 +119,73 @@ class TestValidation:
         with pytest.raises(TypeError):
             next(run_batch(compiled, "not a collection"))
 
+    def test_unknown_kernel_rejected(self, contact_setup):
+        compiled, collection = contact_setup
+        with pytest.raises(ValueError, match="kernel"):
+            next(run_batch(compiled, collection, kernel="warp"))
+
+    def test_runlength_kernel_needs_the_compiled_engine(self, contact_setup):
+        compiled, collection = contact_setup
+        with pytest.raises(ValueError, match="run-length"):
+            next(
+                run_batch(
+                    compiled, collection, engine="reference", kernel="runlength"
+                )
+            )
+
+    def test_streaming_batches_cannot_force_runlength(self, contact_setup):
+        compiled, collection = contact_setup
+        with pytest.raises(ValueError, match="streaming"):
+            next(
+                run_batch(
+                    compiled, collection, streaming=True, kernel="runlength"
+                )
+            )
+
+
+class TestKernelAxis:
+    def test_kernels_agree_serially(self, contact_setup):
+        compiled, collection = contact_setup
+        expected = counts_of(run_batch(compiled, collection, kernel="scalar"))
+        for kernel in ("auto", "runlength"):
+            assert (
+                counts_of(run_batch(compiled, collection, kernel=kernel))
+                == expected
+            )
+
+    def test_runlength_kernel_across_processes(self, contact_setup):
+        compiled, collection = contact_setup
+        expected = counts_of(run_batch(compiled, collection))
+        assert (
+            counts_of(
+                run_batch(
+                    compiled,
+                    collection,
+                    mode="processes",
+                    max_workers=2,
+                    kernel="runlength",
+                )
+            )
+            == expected
+        )
+
+    def test_runlength_kernel_with_sharded_documents(self, contact_setup):
+        compiled, collection = contact_setup
+        expected = counts_of(run_batch(compiled, collection))
+        assert (
+            counts_of(
+                run_batch(
+                    compiled,
+                    collection,
+                    mode="processes",
+                    max_workers=2,
+                    shard_min_chars=32,
+                    kernel="runlength",
+                )
+            )
+            == expected
+        )
+
 
 class TestSpannerRunBatch:
     def test_compiles_once_over_the_union_alphabet(self):

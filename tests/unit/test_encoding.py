@@ -207,6 +207,58 @@ class TestDocumentCache:
         assert collection.alphabet() == frozenset("abcd")
 
 
+class TestRunLengthView:
+    def test_runs_concatenate_back_to_the_buffer(self):
+        classing = SymbolClassing(("a", "b"), (0, 1))
+        encoded = classing.encode("aaabbbab" * 3)
+        rebuilt = b"".join(
+            bytes((cls,)) * length for cls, length in encoded.runs()
+        )
+        assert rebuilt == bytes(encoded.buffer)
+        assert encoded.mean_run_length() == encoded.length / len(encoded.runs())
+
+    def test_runs_are_cached_on_the_encoding(self):
+        classing = SymbolClassing(("a", "b"), (0, 1))
+        encoded = classing.encode("aabb")
+        assert encoded.runs() is encoded.runs()
+
+    def test_rle_cache_rides_the_encoding_cache(self):
+        # The RLE view lives on the EncodedDocument, which the Document
+        # caches per classing signature — so the run view can never
+        # outlive (or be served for) a different signature's buffer.
+        document = Document("aabbaa")
+        wide = SymbolClassing(("a", "b"), (0, 1))
+        collapsed = SymbolClassing(("a", "b"), (0, 0))
+        runs_wide = wide.encode(document).runs()
+        runs_collapsed = collapsed.encode(document).runs()
+        assert runs_wide == ((0, 2), (1, 2), (0, 2))
+        assert runs_collapsed == ((0, 6),)
+        # Re-encoding under the first signature still serves its own runs.
+        assert wide.encode(document).runs() == runs_wide
+
+    def test_stale_signature_regression_after_eviction(self):
+        # Fill the document's encoding cache past its bound so the first
+        # signature is evicted, then re-encode it: the fresh encoding
+        # must carry a fresh (correct) run view, never a stale one.
+        document = Document("aabb")
+        first = SymbolClassing(("a", "b"), (0, 1))
+        assert first.encode(document).runs() == ((0, 2), (1, 2))
+        for index in range(Document.MAX_CACHED_ENCODINGS + 1):
+            SymbolClassing((chr(ord("c") + index),), (0,)).encode(document)
+        assert document.cached_encoding(first.signature) is None
+        encoded = first.encode(document)
+        assert encoded.runs() == ((0, 2), (1, 2))
+        assert bytes(encoded.buffer) == b"\x00\x00\x01\x01"
+
+    def test_pickling_drops_the_run_view(self):
+        classing = SymbolClassing(("a", "b"), (0, 1))
+        encoded = classing.encode("aabb")
+        runs = encoded.runs()
+        clone = pickle.loads(pickle.dumps(encoded))
+        assert clone._runs is None
+        assert clone.runs() == runs
+
+
 class TestScratchReuse:
     def test_count_compiled_accepts_and_reuses_scratch(self):
         compiled = compiled_for(".*x{a+b}.*", "ab")

@@ -8,7 +8,12 @@ from repro.automata.transforms import va_to_eva
 from repro.core.documents import DocumentCollection
 from repro.regex.compiler import compile_to_va
 from repro.regex.parser import parse_regex
-from repro.runtime.plan import ENGINE_CHOICES, ExecutionPlan, choose_plan
+from repro.runtime.plan import (
+    ENGINE_CHOICES,
+    KERNEL_CHOICES,
+    ExecutionPlan,
+    choose_plan,
+)
 from repro.runtime.subset import CompiledSubsetEVA, count_subset, evaluate_subset_arena
 from repro.spanners.spanner import Spanner
 from repro.workloads.spanners import figure3_eva
@@ -57,6 +62,67 @@ class TestChoosePlan:
     def test_plan_must_be_concrete(self):
         with pytest.raises(ValueError):
             ExecutionPlan("auto", True, "nope")
+
+
+class TestKernelAxis:
+    def test_plans_default_to_auto_kernel(self):
+        assert choose_plan(engine="compiled").kernel == "auto"
+
+    def test_kernel_is_carried_through_choose_plan(self):
+        for kernel in KERNEL_CHOICES:
+            plan = choose_plan(engine="compiled", kernel=kernel)
+            assert plan.kernel == kernel
+        plan = choose_plan(stats_of(figure3_eva()), kernel="runlength")
+        assert plan.kernel == "runlength"
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            choose_plan(engine="compiled", kernel="warp")
+        with pytest.raises(ValueError):
+            ExecutionPlan("compiled", True, "forced", kernel="warp")
+
+    def test_runlength_kernel_needs_a_class_table_engine(self):
+        with pytest.raises(ValueError):
+            choose_plan(engine="reference", kernel="runlength")
+        with pytest.raises(ValueError):
+            ExecutionPlan("reference", False, "forced", kernel="runlength")
+        assert (
+            choose_plan(engine="compiled-otf", kernel="runlength").kernel
+            == "runlength"
+        )
+
+    def test_streaming_plans_pin_the_scalar_kernel(self):
+        plan = choose_plan(
+            stats_of(figure3_eva()), streaming=True, kernel="auto"
+        )
+        assert plan.kernel == "scalar"
+        with pytest.raises(ValueError):
+            choose_plan(
+                stats_of(figure3_eva()), streaming=True, kernel="runlength"
+            )
+
+    def test_facade_kernel_choices_agree(self):
+        spanner = Spanner.from_regex("x{a+}b")
+        expected = spanner.count("aab", kernel="scalar")
+        for kernel in KERNEL_CHOICES:
+            assert spanner.count("aab", kernel=kernel) == expected
+            assert (
+                len(list(spanner.enumerate("aab", kernel=kernel))) == expected
+            )
+            assert spanner.plan("aab", kernel=kernel).kernel == kernel
+
+    def test_facade_constructor_kernel_is_the_default(self):
+        spanner = Spanner.from_regex("x{a+}b", kernel="runlength")
+        assert spanner.kernel == "runlength"
+        assert spanner.plan("aab", engine="compiled").kernel == "runlength"
+        assert spanner.count("aab") == spanner.count("aab", kernel="scalar")
+
+    def test_facade_rejects_unknown_kernel(self):
+        spanner = Spanner.from_regex("x{a}")
+        with pytest.raises(ValueError):
+            Spanner("x{a}", kernel="warp")
+        with pytest.raises(ValueError):
+            spanner.count("a", kernel="warp")
 
 
 class TestSubsetRuntime:

@@ -1,0 +1,339 @@
+"""Unit tests for the run-length kernels (repro.runtime.runlength)."""
+
+import pickle
+
+import pytest
+
+from repro.core.errors import EvaluationError
+from repro.runtime.plan import KERNEL_CHOICES
+from repro.runtime.runlength import (
+    KERNELS,
+    RUNLENGTH_MIN_CHARS,
+    count_runlength,
+    count_subset_runlength,
+    count_subset_with_kernel,
+    count_vectors_runlength,
+    count_with_kernel,
+    evaluate_arena_with_kernel,
+    evaluate_runlength_arena,
+    numpy_available,
+    prefers_runlength,
+    resolve_kernel,
+    runlength_kernel,
+    subset_runlength_kernel,
+    summary_runlength,
+    _mul_rows,
+    _vec_rows,
+)
+from repro.runtime.engine import count_compiled, evaluate_compiled_arena
+from repro.runtime.sharding import count_sharded, shard_summary
+from repro.spanners.spanner import Spanner
+
+
+PATTERN = ".*x{a+}.*"
+DOCUMENT = "bbaaab" + "a" * 40 + "bb"
+
+
+@pytest.fixture
+def runtime():
+    spanner = Spanner(PATTERN)
+    yield spanner.runtime(DOCUMENT)
+    spanner.close()
+
+
+def arena_arrays(dag):
+    return (
+        list(dag.node_markers),
+        list(dag.node_positions),
+        list(dag.node_starts),
+        list(dag.node_ends),
+        list(dag.cell_nodes),
+        list(dag.cell_nexts),
+        list(dag.final_entries),
+    )
+
+
+class TestKernelConstruction:
+    def test_kernel_axis_mirrors_plan_choices(self):
+        # The tuple is duplicated on purpose (the strictly typed plan
+        # module must not import the kernel layer); this pin keeps the
+        # two from drifting.
+        assert KERNELS == KERNEL_CHOICES
+
+    def test_step_rows_match_brute_force(self, runtime):
+        kernel = runlength_kernel(runtime)
+        for cls in range(kernel.num_classes):
+            for state in range(kernel.num_states):
+                merged = {}
+                for source, coeff in kernel.iv_rows[state]:
+                    target = runtime.class_table[source][cls]
+                    if target >= 0:
+                        merged[target] = merged.get(target, 0) + coeff
+                assert kernel.step_rows[cls][state] == tuple(
+                    sorted(merged.items())
+                )
+
+    def test_iv_rows_are_identity_on_silent_states(self, runtime):
+        kernel = runlength_kernel(runtime)
+        for state in range(kernel.num_states):
+            if runtime.silent[state]:
+                assert kernel.iv_rows[state] == ((state, 1),)
+
+    def test_bool_rows_are_step_row_supports(self, runtime):
+        kernel = runlength_kernel(runtime)
+        for cls in range(kernel.num_classes):
+            for state in range(kernel.num_states):
+                mask = 0
+                for target, _coeff in kernel.step_rows[cls][state]:
+                    mask |= 1 << target
+                assert kernel.bool_rows[cls][state] == mask
+
+    def test_count_kind_shortcuts_are_sound(self, runtime):
+        kernel = runlength_kernel(runtime)
+        for cls in range(kernel.num_classes):
+            rows = kernel.step_rows[cls]
+            kind = kernel.count_kind[cls]
+            functional = all(
+                len(row) <= 1 and all(c == 1 for _t, c in row) for row in rows
+            )
+            if kind == "functional":
+                assert functional
+            elif kind == "idempotent":
+                assert _mul_rows(rows, rows) == rows
+            else:
+                assert kind == "general"
+                assert not functional
+                assert _mul_rows(rows, rows) != rows
+
+    def test_capture_pattern_has_a_general_class(self, runtime):
+        # The `a` class both opens and extends x{a+}: its count matrix
+        # genuinely fans out, so exponentiation cannot be shortcut.
+        kernel = runlength_kernel(runtime)
+        assert "general" in kernel.count_kind
+
+    def test_kernel_is_cached_on_the_automaton(self, runtime):
+        assert runlength_kernel(runtime) is runlength_kernel(runtime)
+
+    def test_pickling_drops_the_kernel(self, runtime):
+        runlength_kernel(runtime)
+        assert runtime._runlength is not None
+        clone = pickle.loads(pickle.dumps(runtime))
+        assert clone._runlength is None
+        assert count_runlength(clone, DOCUMENT) == count_runlength(
+            runtime, DOCUMENT
+        )
+
+
+class TestRunAlgebra:
+    def test_vec_run_matches_repeated_application(self, runtime):
+        kernel = runlength_kernel(runtime)
+        for cls in range(kernel.num_classes):
+            vector = {runtime.initial: 1}
+            for k in range(0, 9):
+                expected = {runtime.initial: 1}
+                for _ in range(k):
+                    expected = _vec_rows(expected, kernel.step_rows[cls])
+                assert (
+                    kernel.vec_run(vector, cls, k, use_numpy=False) == expected
+                )
+
+    def test_frontier_run_matches_stepping(self, runtime):
+        kernel = runlength_kernel(runtime)
+        for cls in range(kernel.num_classes):
+            for state in range(kernel.num_states):
+                mask = 1 << state
+                for k in range(0, 9):
+                    expected = 1 << state
+                    for _ in range(k):
+                        image = 0
+                        m = expected
+                        while m:
+                            low = m & -m
+                            image |= kernel.bool_rows[cls][
+                                low.bit_length() - 1
+                            ]
+                            m &= m - 1
+                        expected = image
+                    assert kernel.frontier_run(mask, cls, k) == expected
+
+    def test_sprint_path_matches_the_class_table_walk(self, runtime):
+        kernel = runlength_kernel(runtime)
+        for cls in range(kernel.num_classes):
+            for state in range(kernel.num_states):
+                if not runtime.silent[state]:
+                    continue
+                kind, seq, cycle = kernel.sprint_path(cls, state)
+                assert seq[0] == state
+                # Walk the table alongside the memoized trajectory.
+                for i in range(1, len(seq)):
+                    assert runtime.class_table[seq[i - 1]][cls] == seq[i]
+                if kind == "dies":
+                    assert runtime.class_table[seq[-1]][cls] < 0
+                elif kind == "exits":
+                    assert not runtime.silent[seq[-1]]
+                    assert all(runtime.silent[s] for s in seq[:-1])
+                else:
+                    assert kind == "cycle"
+                    assert runtime.class_table[seq[-1]][cls] == seq[cycle]
+                    assert all(runtime.silent[s] for s in seq)
+
+    def test_segment_rows_are_memoized(self, runtime):
+        kernel = runlength_kernel(runtime)
+        kernel._segment_rows.clear()
+        encoded = runtime.encode("bbb")
+        segment = bytes(encoded.buffer)
+        first = kernel.segment_row(segment, runtime.initial)
+        assert kernel.segment_row(segment, runtime.initial) == first
+        assert len(kernel._segment_rows) == 1
+
+
+class TestCounting:
+    def test_count_matches_scalar(self, runtime):
+        for document in ["", "a", "b", DOCUMENT, "a" * 200, "ab" * 50]:
+            assert count_runlength(runtime, document) == count_compiled(
+                runtime, document
+            )
+
+    def test_numpy_and_fallback_agree(self, runtime):
+        for document in [DOCUMENT, "a" * 500]:
+            plain = count_runlength(runtime, document, use_numpy=False)
+            auto = count_runlength(runtime, document)
+            assert plain == auto
+            if numpy_available():
+                assert (
+                    count_runlength(runtime, document, use_numpy=True) == plain
+                )
+
+    @pytest.mark.skipif(numpy_available(), reason="numpy is importable")
+    def test_forcing_numpy_without_numpy_raises(self, runtime):
+        with pytest.raises(EvaluationError):
+            count_runlength(runtime, DOCUMENT, use_numpy=True)
+
+    def test_large_exact_count_beyond_int64(self):
+        # ~2^line_count mappings: far past what int64 could hold, so the
+        # magnitude guard must route the product to exact Python rows.
+        spanner = Spanner(".*x{a+}.*")
+        document = ("a" * 80 + "b") * 40
+        runtime = spanner.runtime(document)
+        try:
+            assert count_runlength(runtime, document) == count_compiled(
+                runtime, document
+            )
+        finally:
+            spanner.close()
+
+    def test_subset_count_matches_dense(self):
+        spanner = Spanner(PATTERN)
+        try:
+            subset = spanner._otf_runtime_for_key(
+                spanner._alphabet_key(DOCUMENT)
+            )
+            assert count_subset_runlength(subset, DOCUMENT) == count_compiled(
+                spanner.runtime(DOCUMENT), DOCUMENT
+            )
+            assert subset_runlength_kernel(subset) is subset_runlength_kernel(
+                subset
+            )
+        finally:
+            spanner.close()
+
+
+class TestArena:
+    def test_arena_bit_identical_to_scalar(self, runtime):
+        for document in ["", "a", DOCUMENT, "ab" * 30, "b" * 50 + "aaa"]:
+            expected = arena_arrays(evaluate_compiled_arena(runtime, document))
+            for fast_path in (True, False):
+                actual = arena_arrays(
+                    evaluate_runlength_arena(
+                        runtime, document, fast_path=fast_path
+                    )
+                )
+                assert actual == expected, (document, fast_path)
+
+
+class TestShardingComposition:
+    def test_summary_matches_scalar_summary(self, runtime):
+        encoded = runtime.encode(DOCUMENT)
+        for n in (0, 1, 7, encoded.length):
+            assert summary_runlength(
+                runtime, encoded.buffer, n
+            ) == shard_summary(runtime, encoded.buffer, n)
+
+    def test_count_vectors_apply_trailing_capture_once(self, runtime):
+        encoded = runtime.encode(DOCUMENT)
+        entries = list(range(runtime.num_states))
+        without = count_vectors_runlength(
+            runtime, encoded.buffer, entries, include_final=False
+        )
+        with_final = count_vectors_runlength(
+            runtime, encoded.buffer, entries, include_final=True
+        )
+        kernel = runlength_kernel(runtime)
+        for entry in entries:
+            expected = {}
+            for state, amount in without[entry].items():
+                for target, coeff in kernel.iv_rows[state]:
+                    expected[target] = expected.get(target, 0) + amount * coeff
+            assert with_final[entry] == expected
+
+    def test_sharded_count_with_runlength_kernel(self, runtime):
+        expected = count_compiled(runtime, DOCUMENT)
+        for shards in (1, 2, 3, 7):
+            assert (
+                count_sharded(
+                    runtime, DOCUMENT, shards=shards, kernel="runlength"
+                )
+                == expected
+            )
+
+
+class TestDispatch:
+    def test_prefers_runlength_needs_long_runs_and_a_long_document(self):
+        spanner = Spanner(PATTERN)
+        try:
+            runtime = spanner.runtime("ab")
+            short = runtime.encode("ab" * 8)
+            assert not prefers_runlength(short)
+            choppy = runtime.encode("ab" * RUNLENGTH_MIN_CHARS)
+            assert not prefers_runlength(choppy)
+            runny = runtime.encode("a" * 64 * RUNLENGTH_MIN_CHARS)
+            assert prefers_runlength(runny)
+            assert resolve_kernel("auto", short) == "scalar"
+            assert resolve_kernel("auto", runny) == "runlength"
+            assert resolve_kernel("scalar", runny) == "scalar"
+            assert resolve_kernel("runlength", short) == "runlength"
+            with pytest.raises(EvaluationError):
+                resolve_kernel("bogus", short)
+        finally:
+            spanner.close()
+
+    def test_dispatchers_agree_across_kernels(self, runtime):
+        expected = count_compiled(runtime, DOCUMENT)
+        arena = arena_arrays(evaluate_compiled_arena(runtime, DOCUMENT))
+        for kernel in KERNELS:
+            assert (
+                count_with_kernel(runtime, DOCUMENT, kernel=kernel) == expected
+            )
+            assert (
+                arena_arrays(
+                    evaluate_arena_with_kernel(
+                        runtime, DOCUMENT, kernel=kernel
+                    )
+                )
+                == arena
+            )
+
+    def test_subset_dispatcher_agrees(self):
+        spanner = Spanner(PATTERN)
+        try:
+            subset = spanner._otf_runtime_for_key(
+                spanner._alphabet_key(DOCUMENT)
+            )
+            expected = count_compiled(spanner.runtime(DOCUMENT), DOCUMENT)
+            for kernel in KERNELS:
+                assert (
+                    count_subset_with_kernel(subset, DOCUMENT, kernel=kernel)
+                    == expected
+                )
+        finally:
+            spanner.close()
