@@ -45,6 +45,7 @@ from repro.runtime.engine import (  # noqa: E402
     EvaluationScratch,
     evaluate_compiled_arena,
 )
+from repro.runtime.resilience import ResiliencePolicy  # noqa: E402
 from repro.spanners.spanner import Spanner  # noqa: E402
 from repro.workloads.collections import scenario  # noqa: E402
 from repro.workloads.spanners import random_census_nfa  # noqa: E402
@@ -98,6 +99,37 @@ def timed_nofast(compiled, collection, *, repeat: int = 1) -> tuple[float, int]:
     return best, total
 
 
+def timed_supervised_pair(compiled, collection, *, repeat, passes=10):
+    """Best paired seconds of plain vs supervised serial drains.
+
+    The supervised-overhead floor (<=2%) is far below the jitter of a
+    single smoke-sized drain, so this measurement is built differently
+    from the cross-engine rows: each sample drains the collection
+    *passes* times (longer timed regions drown per-drain noise) and the
+    plain/supervised samples are interleaved so slow machine drift hits
+    both sides equally.  Returns ``(plain_best, supervised_best)``
+    normalized to per-drain seconds.
+    """
+    policy = ResiliencePolicy()
+
+    def sample(**kwargs) -> float:
+        start = time.perf_counter()
+        for _ in range(passes):
+            for _pair in run_batch(compiled, collection, engine="compiled", **kwargs):
+                pass
+        return time.perf_counter() - start
+
+    plain_best = supervised_best = None
+    for _ in range(repeat):
+        plain = sample()
+        supervised = sample(policy=policy)
+        plain_best = plain if plain_best is None else min(plain_best, plain)
+        supervised_best = (
+            supervised if supervised_best is None else min(supervised_best, supervised)
+        )
+    return plain_best / passes, supervised_best / passes
+
+
 def census_collection(num_documents: int, num_states: int, length: int):
     """The census workload: one det seVA, many copies of its document."""
     instance = CensusInstance(
@@ -111,13 +143,21 @@ def census_collection(num_documents: int, num_states: int, length: int):
     return compile_eva(deterministic, check_determinism=False), collection
 
 
-def bench_workload(name, compiled, collection, *, repeat, max_workers, nofast=False):
+def bench_workload(
+    name, compiled, collection, *, repeat, max_workers, nofast=False, supervised=False
+):
     """Measure all execution strategies on one workload.
 
     *nofast* adds a ``compiled-nofast`` row (the arena engine with the
     quiescent fast path disabled) and the ``speedup_fastpath_vs_nofast``
     ratio — reported on the sparse-match workload where the sprint is the
     headline change.
+
+    *supervised* adds a ``supervised`` row — the same serial compiled run
+    under the fault-tolerance layer with injection disabled — and the
+    ``speedup_supervised_vs_plain`` ratio, gating the resilience layer's
+    no-fault overhead (the acceptance criterion is <=2%, i.e. a floor of
+    0.98 on the ratio).
     """
     total_chars = collection.total_length()
     rows = {}
@@ -158,6 +198,23 @@ def bench_workload(name, compiled, collection, *, repeat, max_workers, nofast=Fa
                 f"fast={compiled_count}, nofast={nofast_count}"
             )
         timed_rows.append(("compiled-nofast", nofast_seconds))
+    if supervised:
+        plain_seconds, supervised_seconds = timed_supervised_pair(
+            compiled, collection, repeat=max(5, repeat * 2)
+        )
+        _, supervised_count = timed_batch(
+            compiled,
+            collection,
+            engine="compiled",
+            policy=ResiliencePolicy(),
+            repeat=1,
+        )
+        if supervised_count != compiled_count:
+            raise AssertionError(
+                f"{name}: supervision changed the result — "
+                f"plain={compiled_count}, supervised={supervised_count}"
+            )
+        timed_rows.append(("supervised", supervised_seconds))
 
     for label, seconds in timed_rows:
         rows[label] = {
@@ -168,6 +225,8 @@ def bench_workload(name, compiled, collection, *, repeat, max_workers, nofast=Fa
     rows["speedup_processes_vs_serial"] = compiled_seconds / process_seconds
     if nofast:
         rows["speedup_fastpath_vs_nofast"] = nofast_seconds / compiled_seconds
+    if supervised:
+        rows["speedup_supervised_vs_plain"] = plain_seconds / supervised_seconds
     return {
         "workload": name,
         "documents": len(collection),
@@ -196,6 +255,8 @@ def print_report(entry) -> None:
     )
     if "speedup_fastpath_vs_nofast" in rows:
         line += f"   fast path vs nofast: {rows['speedup_fastpath_vs_nofast']:.2f}x"
+    if "speedup_supervised_vs_plain" in rows:
+        line += f"   supervised vs plain: {rows['speedup_supervised_vs_plain']:.2f}x"
     print(line)
 
 
@@ -255,6 +316,7 @@ def main(argv=None) -> int:
         contacts.collection,
         repeat=repeat,
         max_workers=args.max_workers,
+        supervised=True,
     )
     report["workloads"].append(entry)
     print_report(entry)

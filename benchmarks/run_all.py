@@ -1,4 +1,4 @@
-"""Run the benchmark suite, gate it, and emit the BENCH_8.json snapshot.
+"""Run the benchmark suite, gate it, and emit the BENCH_9.json snapshot.
 
 One entry point for everything CI (and a developer refreshing baselines)
 needs:
@@ -17,7 +17,7 @@ needs:
    physically unreachable regardless of engine quality, so it runs
    through ``--soft-min-speedup`` (reported, never failing) while the
    core-independent shard overhead ratios stay gated hard everywhere;
-3. write a consolidated perf-trajectory snapshot — ``BENCH_8.json`` at the
+3. write a consolidated perf-trajectory snapshot — ``BENCH_9.json`` at the
    repository root — containing only the machine-portable ratio metrics of
    every workload (plus ``cpu_count``, the effective shard worker count,
    and whether/which numpy backed the run-length kernel's int64 path, so
@@ -26,7 +26,7 @@ needs:
 
 Usage::
 
-    python benchmarks/run_all.py [--full] [--skip-gates] [--output BENCH_8.json]
+    python benchmarks/run_all.py [--full] [--skip-gates] [--output BENCH_9.json]
 
 ``--full`` runs the full-size workloads instead of the CI smokes (and
 skips the gates: the committed baselines are smoke-sized, so comparing
@@ -54,7 +54,20 @@ SUITE = [
         os.path.join("baselines", "batch_smoke.json"),
         # The sparse-logs acceptance criterion: the quiescent fast path must
         # keep a >=2x edge over the same engine with the sprint disabled.
-        ["--min-speedup", "speedup_fastpath_vs_nofast=2.0"],
+        # The resilience acceptance criterion: with injection disabled the
+        # supervised serial path must stay at parity with the plain
+        # compiled run (its no-fault cost is a couple of None-checks per
+        # document; the interleaved paired measurement on the contacts
+        # workload reads ~1.00, i.e. well inside the <=2% budget).  The
+        # floor is set below the measured value for the same reason as
+        # every other gate here — shared-runner jitter headroom — so only
+        # a genuine supervision tax fails the build.
+        [
+            "--min-speedup",
+            "speedup_fastpath_vs_nofast=2.0",
+            "--min-speedup",
+            "speedup_supervised_vs_plain=0.9",
+        ],
     ),
     (
         "bench_enumerate.py",
@@ -209,13 +222,13 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output",
         default=None,
-        help="path of the consolidated snapshot (default: BENCH_8.json at the "
-        "repo root for smoke runs, BENCH_8_full.json for --full so a local "
+        help="path of the consolidated snapshot (default: BENCH_9.json at the "
+        "repo root for smoke runs, BENCH_9_full.json for --full so a local "
         "full-size run never overwrites the committed smoke trajectory)",
     )
     args = parser.parse_args(argv)
     if args.output is None:
-        name = "BENCH_8_full.json" if args.full else "BENCH_8.json"
+        name = "BENCH_9_full.json" if args.full else "BENCH_9.json"
         args.output = os.path.join(REPO_ROOT, name)
 
     mode_args = [] if args.full else ["--smoke"]
@@ -228,7 +241,7 @@ def main(argv=None) -> int:
     failures: list[str] = []
     cpu_count = os.cpu_count() or 1
     snapshot = {
-        "pr": 8,
+        "pr": 9,
         "smoke": not args.full,
         "cpu_count": cpu_count,
         # The run-length count ratios depend on whether the exact-int64

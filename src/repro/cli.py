@@ -211,6 +211,42 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print only the per-document mapping counts, not the mappings",
     )
+    batch.add_argument(
+        "--report",
+        action="store_true",
+        help="print a final JSON line with the run's failure report: "
+        "quarantined documents plus retry/rebuild/fallback counters",
+    )
+    batch.add_argument(
+        "--task-deadline",
+        type=float,
+        default=300.0,
+        help="seconds a pooled task may run before it is treated as a "
+        "worker crash (default: 300)",
+    )
+    batch.add_argument(
+        "--max-document-chars",
+        type=int,
+        default=None,
+        help="quarantine documents longer than this instead of evaluating "
+        "them (guards worker memory; default: no limit)",
+    )
+    batch.add_argument(
+        "--max-arena-cells",
+        type=int,
+        default=None,
+        help="quarantine documents whose result arena exceeds this many "
+        "cells (guards driver memory; default: no limit)",
+    )
+    batch.add_argument(
+        "--inject-faults",
+        metavar="JSON",
+        default=None,
+        help="deterministic fault-injection plan for chaos testing, e.g. "
+        '\'[{"site": "task", "action": "kill", "nth": 2}]\' '
+        "(sites: task, evaluate, encode, shard-task; actions: raise, "
+        "kill, delay)",
+    )
 
     stream = subparsers.add_parser(
         "stream", help="chunk-fed evaluation: emit mappings as a stream settles"
@@ -276,6 +312,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=64 * 1024 * 1024,
         help="per-session cap on fed document bytes (0 disables the cap)",
+    )
+    serve.add_argument(
+        "--max-session-arena-cells",
+        type=int,
+        default=0,
+        help="per-session cap on live arena cells (0 disables the cap); "
+        "trips before a pathological pattern-document pair can exhaust "
+        "the server's memory",
     )
     serve.add_argument(
         "--idle-timeout",
@@ -393,12 +437,62 @@ def _run_explain(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _batch_policy(args: argparse.Namespace) -> "ResiliencePolicy":
+    """The fault-tolerance policy of one ``repro batch`` invocation.
+
+    Quarantine is always on: a poison document becomes a line in the
+    failure report and a non-zero exit, never a traceback.  Raises
+    ``ValueError`` on a malformed ``--inject-faults`` plan or a
+    non-positive guard value.
+    """
+    from repro.runtime.resilience import (
+        FaultPlan,
+        ResiliencePolicy,
+        ResourceBudget,
+        RetryPolicy,
+    )
+
+    if args.task_deadline <= 0:
+        raise ValueError(
+            f"--task-deadline must be positive, got {args.task_deadline:g}"
+        )
+    budget = None
+    if args.max_document_chars is not None or args.max_arena_cells is not None:
+        for name, value in (
+            ("--max-document-chars", args.max_document_chars),
+            ("--max-arena-cells", args.max_arena_cells),
+        ):
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be positive, got {value}")
+        budget = ResourceBudget(
+            max_document_chars=args.max_document_chars,
+            max_arena_cells=args.max_arena_cells,
+        )
+    faults = None
+    if args.inject_faults is not None:
+        faults = FaultPlan.from_json(args.inject_faults)
+    return ResiliencePolicy(
+        retry=RetryPolicy(seed=0),
+        task_deadline=args.task_deadline,
+        quarantine=True,
+        budget=budget,
+        faults=faults,
+    )
+
+
 def _run_batch(args: argparse.Namespace, out) -> int:
+    from repro.runtime.resilience import FailureReport
+
     if args.chunk_size < 1:
         print(f"repro batch: error: --chunk-size must be positive, got {args.chunk_size}", file=sys.stderr)
         return 2
     if args.max_workers is not None and args.max_workers < 1:
         print(f"repro batch: error: --max-workers must be positive, got {args.max_workers}", file=sys.stderr)
+        return 2
+    try:
+        policy = _batch_policy(args)
+    except ValueError as error:
+        print(f"repro batch: error: {error}", file=sys.stderr)
         return 2
     try:
         collection = DocumentCollection.from_files(args.documents)
@@ -408,6 +502,7 @@ def _run_batch(args: argparse.Namespace, out) -> int:
     except ValueError as error:
         print(f"repro batch: error: {error}", file=sys.stderr)
         return 2
+    report = FailureReport()
     spanner = Spanner.from_regex(args.pattern)
     try:
         results = spanner.run_batch(
@@ -417,6 +512,8 @@ def _run_batch(args: argparse.Namespace, out) -> int:
             chunk_size=args.chunk_size,
             max_workers=args.max_workers,
             kernel=args.kernel,
+            policy=policy,
+            report=report,
         )
     except ValueError as error:
         print(f"repro batch: error: {error}", file=sys.stderr)
@@ -432,6 +529,16 @@ def _run_batch(args: argparse.Namespace, out) -> int:
             ]
             record["count"] = len(record["mappings"])
         print(json.dumps(record, sort_keys=True), file=out)
+    if args.report:
+        print(json.dumps({"report": report.as_dict()}, sort_keys=True), file=out)
+    if len(report):
+        names = ", ".join(entry.doc_id for entry in report.quarantined)
+        print(
+            f"repro batch: error: {len(report)} document(s) quarantined "
+            f"({names}); rerun with --report for details",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -560,6 +667,7 @@ def _run_serve(args: argparse.Namespace, out) -> int:
             max_sessions=args.max_sessions,
             plan_cache_size=args.plan_cache_size,
             max_session_bytes=args.max_session_bytes,
+            max_session_arena_cells=args.max_session_arena_cells,
             idle_timeout=args.idle_timeout,
             default_alphabet=(
                 args.alphabet if args.alphabet is not None else DEFAULT_STREAM_ALPHABET

@@ -15,8 +15,11 @@ __all__ = [
     "NotSequentialError",
     "ParseError",
     "ReproError",
+    "ResourceLimitError",
     "SpanError",
     "StreamingError",
+    "TaskDeadlineError",
+    "WorkerCrashError",
 ]
 
 
@@ -61,6 +64,37 @@ class NotDeterministicError(EvaluationError):
 
 class NotFunctionalError(EvaluationError):
     """Raised when an algorithm requires a functional automaton."""
+
+
+class ResourceLimitError(EvaluationError):
+    """Raised when a document exceeds a configured resource budget.
+
+    The guards (:class:`repro.runtime.resilience.ResourceBudget`, the
+    server's per-session arena-cell cap) raise this *before* an
+    evaluation can exhaust a worker's memory.  Deterministic: the same
+    document trips the same budget on every attempt, so the supervised
+    executors never retry it — they quarantine or propagate.
+    """
+
+
+class WorkerCrashError(EvaluationError):
+    """Raised when a pool worker died (or its task was lost) for good.
+
+    The supervised executors (:mod:`repro.runtime.resilience`) only
+    raise this after the retry budget, the one pool rebuild and — when
+    enabled — the inline fallback are all exhausted or disabled; a
+    single worker death is normally absorbed by a resubmission.
+    """
+
+
+class TaskDeadlineError(WorkerCrashError):
+    """Raised when a pooled task missed its per-task deadline.
+
+    A deadline miss is indistinguishable from a hung or silently dead
+    worker (``multiprocessing.Pool`` never fails the task of a worker
+    that died mid-run), so this is a :class:`WorkerCrashError` — callers
+    treating crashes and hangs alike catch the base class.
+    """
 
 
 class StreamingError(EvaluationError):

@@ -48,18 +48,25 @@ property tests use to cross-check results.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
+from collections import deque
 from typing import Iterable, Iterator
 
 from repro.core.documents import DocumentCollection
+from repro.core.errors import ReproError, ResourceLimitError
 from repro.enumeration.evaluate import ResultDag, evaluate as reference_evaluate
 from repro.runtime.compiled import CompiledEVA
 from repro.runtime.dag import CompiledResultDag
 from repro.runtime.engine import EvaluationScratch
 from repro.runtime.operators import OperatorResult, PhysicalOperator
 from repro.runtime.runlength import KERNELS, evaluate_arena_with_kernel
-from repro.runtime import sharding
+from repro.runtime import resilience, sharding
+from repro.runtime.resilience import (
+    FailureReport,
+    ResiliencePolicy,
+    ResourceBudget,
+    SupervisedPool,
+)
 from repro.runtime.streaming import evaluate_streaming
 from repro.runtime.subset import CompiledSubsetEVA, evaluate_subset_arena
 
@@ -118,13 +125,19 @@ _worker_scratch: EvaluationScratch | None = None
 _worker_engine: str = "compiled"
 _worker_stream_chunk: int = 0  # 0: evaluate documents whole
 _worker_kernel: str = "auto"
+_worker_budget: ResourceBudget | None = None
 
 
 def _init_worker(
-    compiled, engine: str, stream_chunk: int = 0, kernel: str = "auto"
+    compiled,
+    engine: str,
+    stream_chunk: int = 0,
+    kernel: str = "auto",
+    budget: ResourceBudget | None = None,
+    faults: resilience.FaultPlan | None = None,
 ) -> None:
     global _worker_compiled, _worker_scratch, _worker_engine, _worker_stream_chunk
-    global _worker_kernel
+    global _worker_kernel, _worker_budget
     _worker_compiled = compiled
     _worker_scratch = (
         EvaluationScratch(compiled) if isinstance(compiled, CompiledEVA) else None
@@ -132,6 +145,8 @@ def _init_worker(
     _worker_engine = engine
     _worker_stream_chunk = stream_chunk
     _worker_kernel = kernel
+    _worker_budget = budget
+    resilience.install_fault_plan(faults)
     # Prime the shard-task globals too, so the same pool can serve
     # intra-document shard tasks (run_batch's shard_min_chars path)
     # without a second automaton transfer.
@@ -147,6 +162,8 @@ def _evaluate_one(
     stream_chunk: int = 0,
     kernel: str = "auto",
 ):
+    if resilience._ACTIVE_PLAN is not None:
+        resilience.maybe_fault("evaluate")
     if engine == "hybrid":
         return compiled.execute(document)
     if engine == "reference":
@@ -171,8 +188,13 @@ def _evaluate_one(
 def _process_chunk(chunk: list[tuple[object, object]]) -> list[tuple[object, tuple]]:
     compiled = _worker_compiled
     assert compiled is not None, "worker pool used before initialization"
+    if resilience._ACTIVE_PLAN is not None:
+        resilience.maybe_fault("task")
+    budget = _worker_budget
     out = []
     for doc_id, document in chunk:
+        if budget is not None:
+            budget.check_document(document)
         result = _evaluate_one(
             compiled,
             document,
@@ -181,6 +203,8 @@ def _process_chunk(chunk: list[tuple[object, object]]) -> list[tuple[object, tup
             _worker_stream_chunk,
             _worker_kernel,
         )
+        if budget is not None:
+            budget.check_result(result)
         out.append((doc_id, freeze_result(result, compiled)))
     return out
 
@@ -223,6 +247,8 @@ def run_batch(
     stream_chunk_size: int = 65536,
     shard_min_chars: int | None = None,
     kernel: str = "auto",
+    policy: ResiliencePolicy | None = None,
+    report: FailureReport | None = None,
 ) -> Iterator[tuple[object, ResultDag | CompiledResultDag | OperatorResult]]:
     """Evaluate *compiled* over every document, streaming the results.
 
@@ -272,6 +298,22 @@ def run_batch(
         way.  The other engines run scalar regardless; forcing
         ``"runlength"`` on them, or on a streaming batch (which never
         sees a whole run-length encoding), is an error.
+    policy:
+        The fault-tolerance policy (:mod:`repro.runtime.resilience`).
+        Process mode is *always* supervised — with ``policy=None`` it
+        runs under :data:`~repro.runtime.resilience.DEFAULT_POLICY`
+        (bounded task deadlines, crash retries, one pool rebuild, exact
+        inline fallback, fail-fast on poison documents).  Serial mode
+        engages the policy's guards/faults/quarantine only when a policy
+        is passed, keeping the default serial path overhead-free.  With
+        ``policy.quarantine`` set, documents that fail deterministically
+        are recorded in *report* and omitted from the yielded stream
+        instead of aborting the batch.
+    report:
+        A :class:`~repro.runtime.resilience.FailureReport` collecting
+        quarantined documents and recovery counters for this run.
+        Required when ``policy.quarantine`` is set (one is created
+        internally otherwise, but then the caller cannot read it).
 
     Yields
     ------
@@ -343,6 +385,8 @@ def run_batch(
                 "streaming batches cannot shard documents: sharding needs "
                 "the whole class-id buffer up front to split it"
             )
+    if policy is not None and policy.quarantine and report is None:
+        report = FailureReport()
     collection = DocumentCollection.coerce(documents)
     stream_chunk = stream_chunk_size if streaming else 0
     return _stream_batch(
@@ -355,7 +399,78 @@ def run_batch(
         stream_chunk,
         shard_min_chars,
         kernel,
+        policy,
+        report,
     )
+
+
+def _serial_supervised(
+    compiled,
+    pairs: Iterator[tuple[object, object]],
+    engine: str,
+    stream_chunk: int,
+    kernel: str,
+    policy: ResiliencePolicy,
+    report: FailureReport | None,
+) -> Iterator[tuple[object, ResultDag | CompiledResultDag | OperatorResult]]:
+    """The serial loop with guards, fault hooks and quarantine engaged."""
+    scratch = (
+        EvaluationScratch(compiled) if isinstance(compiled, CompiledEVA) else None
+    )
+    budget = policy.budget
+    if policy.faults is not None:
+        resilience.install_fault_plan(policy.faults)
+    try:
+        for doc_id, document in pairs:
+            try:
+                if budget is not None:
+                    budget.check_document(document)
+                result = _evaluate_one(
+                    compiled, document, engine, scratch, stream_chunk, kernel
+                )
+                if budget is not None:
+                    budget.check_result(result)
+            except Exception as error:
+                if policy.quarantine and report is not None:
+                    stage = "guard" if _is_guard_error(error) else "evaluate"
+                    report.quarantine(doc_id, stage, error)
+                    continue
+                raise
+            yield doc_id, result
+    finally:
+        if policy.faults is not None:
+            resilience.clear_fault_plan()
+
+
+def _is_guard_error(error: BaseException) -> bool:
+    return isinstance(error, ResourceLimitError)
+
+
+def _isolate_chunk(
+    supervised: SupervisedPool,
+    chunk: list[tuple[object, object]],
+    policy: ResiliencePolicy,
+    report: FailureReport | None,
+) -> list[tuple[object, tuple]]:
+    """Re-run a failed chunk one document at a time, inline.
+
+    The inline path runs without fault injection (it is the exactness
+    backstop), so only documents that fail *deterministically* — guard
+    trips, engine errors — surface here; each is quarantined (or raised,
+    when quarantine is off) individually, and the chunk's healthy
+    documents still produce their exact results.
+    """
+    out: list[tuple[object, tuple]] = []
+    for pair in chunk:
+        try:
+            out.extend(supervised.run_inline(_process_chunk, [pair]))
+        except Exception as error:
+            if policy.quarantine and report is not None:
+                stage = "guard" if _is_guard_error(error) else "evaluate"
+                report.quarantine(pair[0], stage, error)
+                continue
+            raise
+    return out
 
 
 def _stream_batch(
@@ -368,10 +483,17 @@ def _stream_batch(
     stream_chunk: int,
     shard_min_chars: int | None = None,
     kernel: str = "auto",
+    policy: ResiliencePolicy | None = None,
+    report: FailureReport | None = None,
 ) -> Iterator[tuple[object, ResultDag | CompiledResultDag | OperatorResult]]:
     pairs = _pairs_of(collection)
 
     if mode == "serial":
+        if policy is not None:
+            yield from _serial_supervised(
+                compiled, pairs, engine, stream_chunk, kernel, policy, report
+            )
+            return
         scratch = (
             EvaluationScratch(compiled) if isinstance(compiled, CompiledEVA) else None
         )
@@ -381,12 +503,53 @@ def _stream_batch(
             )
         return
 
+    # Process mode is always supervised: with no explicit policy the
+    # defaults bound hangs (per-task deadline), absorb worker crashes
+    # (retry → one rebuild → exact inline fallback) and fail fast with a
+    # typed error on poison documents.
+    if policy is None:
+        policy = resilience.DEFAULT_POLICY
     workers = max_workers or os.cpu_count() or 1
-    context = multiprocessing.get_context()
-    pool = context.Pool(
-        processes=workers,
+
+    def inline_setup():
+        saved = (
+            _worker_compiled,
+            _worker_scratch,
+            _worker_engine,
+            _worker_stream_chunk,
+            _worker_kernel,
+            _worker_budget,
+            sharding._WORKER_COMPILED,
+            sharding._WORKER_FAST_PATH,
+        )
+        # Same initializer the workers run, minus the fault plan: the
+        # inline path is the exactness backstop and must never fault.
+        _init_worker(compiled, engine, stream_chunk, kernel, policy.budget, None)
+        resilience.clear_fault_plan()
+
+        def teardown():
+            global _worker_compiled, _worker_scratch, _worker_engine
+            global _worker_stream_chunk, _worker_kernel, _worker_budget
+            (
+                _worker_compiled,
+                _worker_scratch,
+                _worker_engine,
+                _worker_stream_chunk,
+                _worker_kernel,
+                _worker_budget,
+                sharding._WORKER_COMPILED,
+                sharding._WORKER_FAST_PATH,
+            ) = saved
+
+        return teardown
+
+    supervised = SupervisedPool(
+        workers,
         initializer=_init_worker,
-        initargs=(compiled, engine, stream_chunk, kernel),
+        initargs=(compiled, engine, stream_chunk, kernel, policy.budget, policy.faults),
+        inline_setup=inline_setup,
+        policy=policy,
+        report=report,
     )
     try:
         # Outsized documents first, each sharded across the whole pool
@@ -401,28 +564,81 @@ def _stream_batch(
                 if len(document) >= shard_min_chars
             }
             if shard_ids:
-                submitter = sharding.adapt_pool(pool, workers)
+                submitter = sharding.adapt_pool(supervised.raw_pool, workers)
                 for doc_id, document in collection.items():
                     if doc_id in shard_ids:
-                        sharded[doc_id] = sharding.evaluate_sharded(
-                            compiled,
-                            document,
-                            pool=submitter,
-                            shards=workers,
-                            kernel=kernel,
-                        )
+                        try:
+                            if policy.budget is not None:
+                                policy.budget.check_document(document)
+                            result = sharding.evaluate_sharded(
+                                compiled,
+                                document,
+                                pool=submitter,
+                                shards=workers,
+                                kernel=kernel,
+                                policy=policy,
+                            )
+                            if policy.budget is not None:
+                                policy.budget.check_result(result)
+                        except ReproError as error:
+                            if policy.quarantine and report is not None:
+                                stage = (
+                                    "guard" if _is_guard_error(error) else "evaluate"
+                                )
+                                report.quarantine(doc_id, stage, error)
+                                continue
+                            raise
+                        sharded[doc_id] = result
+
+        # Small documents: bounded-window supervised pipeline, collected
+        # in submission order so yields stay in collection order.
         small = (pair for pair in pairs if pair[0] not in shard_ids)
-        small_results = (
-            pair
-            for chunk_result in pool.imap(_process_chunk, _chunked(small, chunk_size))
-            for pair in chunk_result
-        )
+        chunks = _chunked(small, chunk_size)
+        window: deque = deque()
+        capacity = max(2, workers * 2)
+
+        def refill() -> None:
+            while len(window) < capacity:
+                chunk = next(chunks, None)
+                if chunk is None:
+                    return
+                window.append((chunk, supervised.submit(_process_chunk, chunk)))
+
+        refill()
+        ready: deque = deque()
+
+        def advance() -> bool:
+            """Collect the next chunk into ``ready``; False when drained."""
+            if not window:
+                return False
+            chunk, task = window.popleft()
+            refill()
+            try:
+                ready.extend(supervised.collect(task))
+            except Exception:
+                # A failure somewhere in the chunk: isolate per document
+                # (inline, exact) so only the poison one is lost.
+                ready.extend(_isolate_chunk(supervised, chunk, policy, report))
+            return True
+
         for doc_id, _document in collection.items():
             if doc_id in shard_ids:
-                yield doc_id, sharded[doc_id]
-            else:
-                small_id, portable = next(small_results)
+                if doc_id in sharded:
+                    yield doc_id, sharded[doc_id]
+                continue  # quarantined sharded document: omitted
+            while not ready and advance():
+                pass
+            if ready and ready[0][0] == doc_id:
+                small_id, portable = ready.popleft()
                 yield small_id, thaw_result(portable, compiled)
-    finally:
-        pool.terminate()
-        pool.join()
+            # else: no result arrived for doc_id — it was quarantined
+            # during chunk isolation; the report carries its record.
+    except BaseException:
+        # Error path (including an early generator close): in-flight
+        # tasks are abandoned, so a hard terminate is the right teardown.
+        supervised.terminate()
+        raise
+    else:
+        # Clean completion: every submitted task has been collected, so
+        # close/join gracefully instead of tearing workers down mid-exit.
+        supervised.close()

@@ -330,7 +330,9 @@ class CacheStats:
     :meth:`PlanCache.reset_stats`), ``evictions`` counts entries dropped
     by the LRU bound, and ``entries``/``max_entries`` describe the
     current occupancy.  ``hit_ratio`` is what the server's ``/metrics``
-    endpoint reports.
+    endpoint reports.  ``build_failures`` counts factories that raised
+    out of :meth:`PlanCache.get_or_create` — a growing number flags
+    clients repeatedly submitting patterns that fail to compile.
     """
 
     hits: int
@@ -338,6 +340,7 @@ class CacheStats:
     evictions: int
     entries: int
     max_entries: int
+    build_failures: int = 0
 
     @property
     def hit_ratio(self) -> float:
@@ -352,6 +355,7 @@ class CacheStats:
             "evictions": self.evictions,
             "entries": self.entries,
             "max_entries": self.max_entries,
+            "build_failures": self.build_failures,
             "hit_ratio": round(self.hit_ratio, 6),
         }
 
@@ -381,6 +385,7 @@ class PlanCache(Generic[K, V]):
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._build_failures = 0
 
     @property
     def max_entries(self) -> int:
@@ -425,7 +430,13 @@ class PlanCache(Generic[K, V]):
                 self._entries.move_to_end(key)
                 return value
             self._misses += 1
-            value = factory()
+            try:
+                value = factory()
+            except BaseException:
+                # A failed build leaves no entry behind; count it so the
+                # server's /metrics can surface repeated bad patterns.
+                self._build_failures += 1
+                raise
             self._entries[key] = value
             while len(self._entries) > self._max_entries:
                 self._entries.popitem(last=False)
@@ -443,6 +454,7 @@ class PlanCache(Generic[K, V]):
             self._hits = 0
             self._misses = 0
             self._evictions = 0
+            self._build_failures = 0
 
     def stats(self) -> CacheStats:
         """A consistent snapshot of the counters and occupancy."""
@@ -453,6 +465,7 @@ class PlanCache(Generic[K, V]):
                 evictions=self._evictions,
                 entries=len(self._entries),
                 max_entries=self._max_entries,
+                build_failures=self._build_failures,
             )
 
     def __repr__(self) -> str:

@@ -59,11 +59,19 @@ batch engine reuses its own worker pool through the same task functions.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import threading
 from time import perf_counter
 
-from repro.core.errors import EvaluationError, NotDeterministicError
+from repro.core.errors import (
+    EvaluationError,
+    NotDeterministicError,
+    ReproError,
+    TaskDeadlineError,
+    WorkerCrashError,
+)
+from repro.runtime import resilience
 from repro.runtime.compiled import CompiledEVA
 from repro.runtime.dag import NIL, CompiledResultDag
 from repro.runtime.engine import _sprint
@@ -834,15 +842,25 @@ _WORKER_COMPILED: CompiledEVA | None = None
 _WORKER_FAST_PATH: bool = True
 
 
-def _init_shard_worker(compiled: CompiledEVA, fast_path: bool = True) -> None:
+def _init_shard_worker(
+    compiled: CompiledEVA,
+    fast_path: bool = True,
+    faults: "resilience.FaultPlan | None" = None,
+) -> None:
     global _WORKER_COMPILED, _WORKER_FAST_PATH
     _WORKER_COMPILED = compiled
     _WORKER_FAST_PATH = fast_path
+    if faults is not None:
+        resilience.install_fault_plan(faults)
 
 
 def _worker_automaton() -> CompiledEVA:
     compiled = _WORKER_COMPILED
     assert compiled is not None, "shard worker pool used before initialization"
+    # Every shard task fetches the automaton exactly once, so this is
+    # the one choke point the fault-injection harness needs.
+    if resilience._ACTIVE_PLAN is not None:
+        resilience.maybe_fault("shard-task")
     return compiled
 
 
@@ -924,7 +942,12 @@ class ShardPool:
     """
 
     def __init__(
-        self, compiled: CompiledEVA, workers: int, *, fast_path: bool = True
+        self,
+        compiled: CompiledEVA,
+        workers: int,
+        *,
+        fast_path: bool = True,
+        faults: "resilience.FaultPlan | None" = None,
     ) -> None:
         if workers < 1:
             raise EvaluationError(f"worker count must be positive, got {workers}")
@@ -935,7 +958,7 @@ class ShardPool:
         self._pool = context.Pool(
             processes=workers,
             initializer=_init_shard_worker,
-            initargs=(compiled, fast_path),
+            initargs=(compiled, fast_path, faults),
         )
         self._closed = False
 
@@ -943,9 +966,23 @@ class ShardPool:
     def closed(self) -> bool:
         return self._closed
 
+    @property
+    def raw_pool(self):
+        """The underlying ``multiprocessing.Pool`` (crash detection reads it)."""
+        return None if self._closed else self._pool
+
     def submit(self, task, payload: tuple):
         """Dispatch one task; returns an async handle with ``.get()``."""
         return self._pool.apply_async(task, (payload,))
+
+    def mark_broken(self) -> None:
+        """Tear the pool down after a crash; owners rebuild on next use.
+
+        The facade's per-alphabet pool cache checks ``closed`` before
+        reuse, so closing here is exactly what makes the next
+        ``workers > 1`` call start from a fresh pool.
+        """
+        self.close()
 
     def close(self) -> None:
         if not self._closed:
@@ -960,10 +997,19 @@ class ShardPool:
         self.close()
 
     def __del__(self) -> None:
+        # Collection can run during interpreter shutdown, when the pool
+        # machinery (or the multiprocessing module itself) is already
+        # half-dismantled: those failures surface as the specific
+        # shutdown exceptions below and are expected.  Anything else is
+        # a real bug worth a log line — but never a raise from __del__.
         try:
             self.close()
-        except Exception:
+        except (OSError, ValueError, RuntimeError, AttributeError, TypeError):
             pass
+        except Exception:
+            logging.getLogger(__name__).exception(
+                "ShardPool.__del__: unexpected error while closing the pool"
+            )
 
     def __repr__(self) -> str:
         status = "closed" if self._closed else "open"
@@ -983,8 +1029,16 @@ class _PoolAdapter:
         self.workers = workers
         self._pool = pool
 
+    @property
+    def raw_pool(self):
+        """The wrapped ``multiprocessing.Pool`` (crash detection reads it)."""
+        return self._pool
+
     def submit(self, task, payload: tuple):
         return self._pool.apply_async(task, (payload,))
+
+    def mark_broken(self) -> None:
+        """No-op: the pool's owner (the batch engine) supervises it."""
 
 
 def adapt_pool(pool, workers: int) -> _PoolAdapter:
@@ -997,12 +1051,46 @@ def adapt_pool(pool, workers: int) -> _PoolAdapter:
 # ---------------------------------------------------------------------- #
 
 
-def _run_tasks(pool, compiled: CompiledEVA, fast_path: bool, calls: list) -> list:
+def _run_one_inline(compiled: CompiledEVA, fast_path: bool, task, payload) -> tuple:
+    """Run one task function in this process, exactly as a worker would.
+
+    Primes the worker globals (without a fault plan — the inline path is
+    the exactness backstop) and restores them afterwards.
+    """
+    global _WORKER_COMPILED, _WORKER_FAST_PATH
+    saved = (_WORKER_COMPILED, _WORKER_FAST_PATH)
+    saved_plan = resilience._ACTIVE_PLAN
+    _init_shard_worker(compiled, fast_path)
+    resilience.clear_fault_plan()
+    try:
+        return task(payload)
+    finally:
+        _WORKER_COMPILED, _WORKER_FAST_PATH = saved
+        resilience.install_fault_plan(saved_plan)
+
+
+def _run_tasks(
+    pool,
+    compiled: CompiledEVA,
+    fast_path: bool,
+    calls: list,
+    policy: "resilience.ResiliencePolicy | None" = None,
+) -> list:
     """Run ``(task, payload)`` calls on *pool*, or inline when it is None.
 
     The inline path invokes the same module-level task functions the
     workers run — it temporarily primes the worker globals — so the
     pooled and inline flavours cannot drift apart.
+
+    Pooled collection is supervised: each handle is waited on under the
+    policy's per-task deadline with dead-worker detection.  A crashed or
+    deadlined task (and, once a crash is seen, every later task of the
+    round) is re-run inline — shard tasks are pure functions of their
+    payload, so the results are exact either way — and the broken pool
+    is closed so its owner rebuilds it on next use.  Deterministic
+    library errors (``ReproError``) propagate untouched; an unexpected
+    worker exception gets one inline re-run, which either succeeds (the
+    failure was transient) or raises the real error.
     """
     if pool is None:
         global _WORKER_COMPILED, _WORKER_FAST_PATH
@@ -1012,8 +1100,50 @@ def _run_tasks(pool, compiled: CompiledEVA, fast_path: bool, calls: list) -> lis
             return [task(payload) for task, payload in calls]
         finally:
             _WORKER_COMPILED, _WORKER_FAST_PATH = saved
+
+    if policy is None:
+        policy = resilience.DEFAULT_POLICY
+    if getattr(pool, "closed", False):
+        # An earlier round already marked the pool broken (its owner will
+        # rebuild it on the next call); finish this evaluation inline.
+        return [
+            _run_one_inline(compiled, fast_path, task, payload)
+            for task, payload in calls
+        ]
+    raw_pool = getattr(pool, "raw_pool", None)
     handles = [pool.submit(task, payload) for task, payload in calls]
-    return [handle.get() for handle in handles]
+    results: list = []
+    pool_broken = False
+    for (task, payload), handle in zip(calls, handles):
+        if pool_broken:
+            # One worker death poisons the whole round: sibling handles
+            # may be lost too, and waiting each out to its own deadline
+            # would multiply the stall.  Finish the round inline.
+            resilience.RESILIENCE_METRICS.inline_fallback()
+            results.append(_run_one_inline(compiled, fast_path, task, payload))
+            continue
+        try:
+            results.append(
+                resilience.supervised_get(
+                    handle, deadline=policy.task_deadline, raw_pool=raw_pool
+                )
+            )
+        except (WorkerCrashError, TaskDeadlineError):
+            pool_broken = True
+            resilience.RESILIENCE_METRICS.inline_fallback()
+            results.append(_run_one_inline(compiled, fast_path, task, payload))
+        except ReproError:
+            raise
+        except Exception:
+            # Raised inside the worker: transient infrastructure failure
+            # or a real bug — the inline re-run decides which.
+            resilience.RESILIENCE_METRICS.inline_fallback()
+            results.append(_run_one_inline(compiled, fast_path, task, payload))
+    if pool_broken:
+        broken = getattr(pool, "mark_broken", None)
+        if broken is not None:
+            broken()
+    return results
 
 
 def evaluate_sharded(
@@ -1026,6 +1156,7 @@ def evaluate_sharded(
     fast_path: bool = True,
     metrics: ShardMetrics | None = None,
     kernel: str = "scalar",
+    policy: "resilience.ResiliencePolicy | None" = None,
 ) -> CompiledResultDag:
     """Evaluate *document* shard-parallel; the arena is bit-identical to
     :func:`~repro.runtime.engine.evaluate_compiled_arena`'s.
@@ -1096,7 +1227,7 @@ def evaluate_sharded(
     for index in range(1, total - 1):
         begin, end = bounds[index]
         round_one.append((summary_task, (index, buf[begin:end], end - begin)))
-    for result in _run_tasks(pool, compiled, fast_path, round_one):
+    for result in _run_tasks(pool, compiled, fast_path, round_one, policy):
         index, value, seconds = result
         if index == 0:
             fragments[0] = value
@@ -1136,7 +1267,7 @@ def evaluate_sharded(
                 ),
             )
         )
-    for result in _run_tasks(pool, compiled, fast_path, round_two):
+    for result in _run_tasks(pool, compiled, fast_path, round_two, policy):
         index, fragment, seconds = result
         fragments[index] = fragment
         replay_seconds += seconds
@@ -1164,6 +1295,7 @@ def count_sharded(
     fast_path: bool = True,
     metrics: ShardMetrics | None = None,
     kernel: str = "scalar",
+    policy: "resilience.ResiliencePolicy | None" = None,
 ) -> int:
     """Algorithm 3 shard-parallel — no replay pass at all.
 
@@ -1222,7 +1354,7 @@ def count_sharded(
     for index in range(1, total - 1):
         begin, end = bounds[index]
         round_one.append((summary_task, (index, buf[begin:end], end - begin)))
-    for result in _run_tasks(pool, compiled, fast_path, round_one):
+    for result in _run_tasks(pool, compiled, fast_path, round_one, policy):
         index, value, seconds = result
         if index == 0:
             first_vectors = value
@@ -1260,7 +1392,7 @@ def count_sharded(
             )
         )
     vectors_by_shard: dict[int, dict[int, dict[int, int]]] = {}
-    for result in _run_tasks(pool, compiled, fast_path, round_two):
+    for result in _run_tasks(pool, compiled, fast_path, round_two, policy):
         index, vectors, seconds = result
         vectors_by_shard[index] = vectors
         replay_seconds += seconds

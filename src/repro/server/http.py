@@ -39,7 +39,7 @@ import signal
 import time
 from typing import Awaitable, Callable
 
-from repro.core.errors import ReproError, StreamingError
+from repro.core.errors import ReproError, ResourceLimitError, StreamingError
 from repro.server.protocol import (
     MAX_EVENT_BYTES,
     ProtocolError,
@@ -398,6 +398,10 @@ class ReproServer:
                 except SessionLimitError as error:
                     self.service.metrics.session_failed()
                     await emit({"error": str(error), "code": "too_large"})
+                    return 200
+                except ResourceLimitError as error:
+                    self.service.metrics.session_failed()
+                    await emit({"error": str(error), "code": "resource_limit"})
                     return 200
                 except StreamingError as error:
                     self.service.metrics.session_failed()

@@ -21,6 +21,7 @@ import threading
 from typing import Iterable
 
 from repro.runtime.plan import PlanCache
+from repro.runtime.resilience import resilience_metrics_snapshot
 from repro.runtime.sharding import shard_metrics_snapshot
 
 __all__ = ["LatencyRing", "ServerMetrics"]
@@ -204,4 +205,9 @@ class ServerMetrics:
         # them: shards evaluated vs skipped-as-unreachable, and the
         # summary-pass vs replay-pass time split.
         payload["sharding"] = shard_metrics_snapshot()
+        # Fault-tolerance counters are likewise process-wide: retries,
+        # worker crashes, deadline misses, pool rebuilds, inline
+        # fallbacks, quarantined documents and resource-budget trips,
+        # whichever executor recorded them.
+        payload["resilience"] = resilience_metrics_snapshot()
         return payload

@@ -31,9 +31,10 @@ import threading
 import time
 from dataclasses import dataclass, field
 
-from repro.core.errors import ReproError
+from repro.core.errors import ReproError, ResourceLimitError
 from repro.core.mappings import Mapping
 from repro.runtime.plan import CacheStats, PlanCache
+from repro.runtime.resilience import RESILIENCE_METRICS
 from repro.runtime.streaming import StreamedResult, StreamingEvaluator
 from repro.server.metrics import ServerMetrics
 from repro.server.protocol import OpenRequest
@@ -77,6 +78,12 @@ class ServerConfig:
     plan_cache_size: int = 32
     #: Per-session cap on fed document bytes (UTF-8); 0 disables the cap.
     max_session_bytes: int = 64 * 1024 * 1024
+    #: Per-session cap on live arena cells; 0 disables the cap.  Trips
+    #: as :class:`~repro.core.errors.ResourceLimitError` *before* the
+    #: arena of a pathological pattern×document pair can exhaust the
+    #: server's memory — the fed-bytes cap alone cannot see this, since
+    #: arena growth is not proportional to input size.
+    max_session_arena_cells: int = 0
     #: Seconds a session may sit idle between events before it is closed.
     idle_timeout: float = 30.0
     #: Capacity of the per-request latency ring behind ``/metrics``.
@@ -94,6 +101,11 @@ class ServerConfig:
         if self.max_session_bytes < 0:
             raise ValueError(
                 f"max_session_bytes must be >= 0, got {self.max_session_bytes}"
+            )
+        if self.max_session_arena_cells < 0:
+            raise ValueError(
+                "max_session_arena_cells must be >= 0, got "
+                f"{self.max_session_arena_cells}"
             )
         if self.idle_timeout <= 0:
             raise ValueError(f"idle_timeout must be positive, got {self.idle_timeout}")
@@ -155,9 +167,11 @@ class Session:
     def feed(self, text: str) -> list[Mapping]:
         """Feed one decoded chunk; returns the mappings it settled.
 
-        Raises :class:`SessionLimitError` past the fed-bytes cap and
-        whatever the evaluator raises on protocol violations (e.g. a
-        foreign character after a delivery under incremental emission).
+        Raises :class:`SessionLimitError` past the fed-bytes cap,
+        :class:`~repro.core.errors.ResourceLimitError` past the
+        arena-cell cap, and whatever the evaluator raises on protocol
+        violations (e.g. a foreign character after a delivery under
+        incremental emission).
         """
         cap = self._service.config.max_session_bytes
         size = len(text.encode("utf-8"))
@@ -169,6 +183,17 @@ class Session:
                 "--max-session-bytes"
             )
         delivered = self._evaluator.feed(text)
+        cell_cap = self._service.config.max_session_arena_cells
+        if cell_cap:
+            cells = self._evaluator.arena_cells()
+            if cells > cell_cap:
+                RESILIENCE_METRICS.resource_limit_tripped()
+                raise ResourceLimitError(
+                    f"session {self.session_id} exceeded the per-session cap "
+                    f"of {cell_cap} arena cells ({cells} live after this "
+                    "chunk); simplify the pattern, split the work or raise "
+                    "--max-session-arena-cells"
+                )
         self.bytes_fed += size
         self._service.metrics.chunk_fed(size)
         if delivered:

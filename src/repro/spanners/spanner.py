@@ -63,6 +63,7 @@ from repro.regex.ast import RegexNode
 from repro.regex.parser import parse_regex
 from repro.runtime.batch import run_batch as run_batch_compiled
 from repro.runtime.compiled import CompiledEVA
+from repro.runtime.resilience import FailureReport, ResiliencePolicy
 from repro.runtime.engine import EvaluationScratch
 from repro.runtime.plan import (
     ENGINE_CHOICES,
@@ -134,6 +135,7 @@ class Spanner:
         max_cached_alphabets: int = 8,
         unchecked: bool = False,
         shard_min_chars: int = DEFAULT_SHARD_MIN_CHARS,
+        resilience: ResiliencePolicy | None = None,
     ) -> None:
         if engine not in ENGINE_CHOICES:
             raise ValueError(
@@ -157,6 +159,11 @@ class Spanner:
         # asks for shard parallelism: below the threshold the serial arena
         # engine beats the cost of shipping shard tasks to a pool.
         self._shard_min_chars = shard_min_chars
+        # Fault-tolerance policy applied to every pooled execution this
+        # spanner starts (sharded evaluate/count, run_batch).  ``None``
+        # means the module default: retries plus inline fallback, no
+        # quarantine, no resource budget.
+        self._resilience = resilience
         # One LRU entry per alphabet key; the sequential eVA, deterministic
         # eVA, both compiled runtimes and the plan share the entry so a
         # single eviction drops them together.  The cache is the shared
@@ -564,6 +571,7 @@ class Spanner:
                     pool=self._shard_pool_for_key(key, plan.shard_workers),
                     shards=plan.shard_workers,
                     kernel=plan.kernel,
+                    policy=self._resilience,
                 )
             return evaluate_arena_with_kernel(
                 runtime,
@@ -674,6 +682,8 @@ class Spanner:
         streaming: bool = False,
         stream_chunk_size: int = 65536,
         shard_min_chars: int | None = None,
+        policy: ResiliencePolicy | None = None,
+        report: FailureReport | None = None,
     ) -> Iterator[tuple[object, object]]:
         """Evaluate the spanner over many documents, compiling exactly once.
 
@@ -701,6 +711,12 @@ class Spanner:
         document at least that long is split into shards evaluated
         across the whole pool (:mod:`repro.runtime.sharding`) instead of
         occupying a single worker while the rest idle.
+
+        *policy* overrides the spanner's fault-tolerance policy for this
+        batch (``None`` falls back to the spanner's ``resilience``
+        option, then the module default); with ``policy.quarantine`` a
+        *report* collects the quarantined documents and the
+        retry/rebuild/fallback counters for the run.
         """
         documents = DocumentCollection.coerce(documents)
         if self._pipeline.source_needs_alphabet():
@@ -733,6 +749,8 @@ class Spanner:
             streaming=plan.streaming,
             stream_chunk_size=stream_chunk_size,
             shard_min_chars=shard_min_chars,
+            policy=self._resilience if policy is None else policy,
+            report=report,
         )
 
     def count(
@@ -770,6 +788,7 @@ class Spanner:
                     pool=self._shard_pool_for_key(key, shard_plan.shard_workers),
                     shards=shard_plan.shard_workers,
                     kernel=shard_plan.kernel,
+                    policy=self._resilience,
                 )
             return count_with_kernel(
                 runtime,

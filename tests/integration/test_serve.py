@@ -225,6 +225,27 @@ class TestAdmissionControl:
             assert errors and "per-session cap" in errors[0]["error"]
             assert service.metrics.snapshot()["sessions"]["failed"] == 1
 
+    def test_session_arena_cell_cap_surfaces_in_band(self):
+        # A tiny cell budget trips the resource guard once the evaluator
+        # has accumulated live arena state; the session fails with a typed
+        # in-band event instead of an opaque disconnect.
+        config = ServerConfig(port=0, max_session_arena_cells=2)
+
+        @serve(config)
+        async def _(server, service):
+            client = await StreamClient.open(
+                server.config.host, server.port, PATTERN, alphabet="ab"
+            )
+            for _ in range(6):
+                await client.feed("aaaa")
+            events = await client.finish()
+            await client.close()
+            errors = [e for e in events if e.get("code") == "resource_limit"]
+            assert errors and "arena cells" in errors[0]["error"]
+            assert service.metrics.snapshot()["sessions"]["failed"] == 1
+            resilience = service.metrics.snapshot()["resilience"]
+            assert resilience["resource_limit_trips"] >= 1
+
 
 class TestMetricsEndpoint:
     def test_plan_cache_hit_ratio_positive_on_second_identical_request(self):

@@ -98,6 +98,50 @@ class TestProcessMode:
         assert parallel == serial
 
 
+class TestShutdownSemantics:
+    """Clean completion closes the pool gracefully; error paths terminate.
+
+    Pins the supervised stream's shutdown split: a batch that runs to
+    completion must end with :meth:`SupervisedPool.close` (letting
+    workers drain), while abandoning the generator early must end with
+    :meth:`SupervisedPool.terminate`.
+    """
+
+    @pytest.fixture
+    def pool_calls(self, monkeypatch):
+        from repro.runtime import batch as batch_module
+        from repro.runtime.resilience import SupervisedPool
+
+        calls = []
+
+        class RecordingPool(SupervisedPool):
+            def close(self):
+                calls.append("close")
+                super().close()
+
+            def terminate(self):
+                calls.append("terminate")
+                super().terminate()
+
+        monkeypatch.setattr(batch_module, "SupervisedPool", RecordingPool)
+        return calls
+
+    def test_clean_completion_closes_gracefully(self, contact_setup, pool_calls):
+        compiled, collection = contact_setup
+        results = list(
+            run_batch(compiled, collection, mode="processes", max_workers=2)
+        )
+        assert len(results) == len(list(collection.ids()))
+        assert pool_calls == ["close"]
+
+    def test_early_generator_close_terminates(self, contact_setup, pool_calls):
+        compiled, collection = contact_setup
+        stream = run_batch(compiled, collection, mode="processes", max_workers=2)
+        next(stream)
+        stream.close()
+        assert pool_calls == ["terminate"]
+
+
 class TestValidation:
     def test_unknown_mode_rejected(self, contact_setup):
         compiled, collection = contact_setup

@@ -210,6 +210,129 @@ class TestBatch:
         assert "batch" in build_parser().format_help()
 
 
+class TestBatchResilience:
+    """Failure semantics of ``repro batch``: quarantine, reports, chaos flags."""
+
+    @pytest.fixture
+    def batch_paths(self, tmp_path):
+        first = tmp_path / "a.txt"
+        second = tmp_path / "b.txt"
+        first.write_text(figure1_document().text, encoding="utf-8")
+        second.write_text("Ada <ada@uc.cl>", encoding="utf-8")
+        return [str(first), str(second)]
+
+    def test_report_flag_appends_failure_report(self, batch_paths):
+        code, output = run_cli(
+            ["batch", contact_pattern(), *batch_paths, "--count-only", "--report"]
+        )
+        assert code == 0
+        rows = [json.loads(line) for line in output.strip().splitlines()]
+        report = rows[-1]["report"]
+        assert report["quarantined"] == []
+        assert report["counters"]["documents_quarantined"] == 0
+        assert set(report["counters"]) == {
+            "tasks_retried",
+            "worker_crashes",
+            "deadlines_exceeded",
+            "pool_rebuilds",
+            "inline_fallbacks",
+            "documents_quarantined",
+        }
+
+    def test_quarantined_document_exits_one_with_one_line_stderr(
+        self, batch_paths, tmp_path, capsys
+    ):
+        big = tmp_path / "big.txt"
+        big.write_text("a" * 4096, encoding="utf-8")
+        code, output = run_cli(
+            ["batch", contact_pattern(), *batch_paths, str(big),
+             "--count-only", "--report", "--max-document-chars", "1024"]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert err.startswith("repro batch: error:")
+        assert "1 document(s) quarantined" in err
+        assert "Traceback" not in err
+        # The healthy documents still produced their rows, and the
+        # report names the quarantined one with its typed error.
+        rows = [json.loads(line) for line in output.strip().splitlines()]
+        assert [row["count"] for row in rows[:-1]] == [2, 1]
+        [record] = rows[-1]["report"]["quarantined"]
+        assert record["doc_id"].endswith("big.txt")
+        assert record["error_type"] == "ResourceLimitError"
+        assert record["stage"] == "guard"
+
+    def test_injected_kill_still_yields_exact_output(self, batch_paths, capsys):
+        _code, expected = run_cli(
+            ["batch", contact_pattern(), *batch_paths, "--count-only"]
+        )
+        code, output = run_cli(
+            ["batch", contact_pattern(), *batch_paths, "--count-only",
+             "--mode", "processes", "--max-workers", "1", "--chunk-size", "1",
+             "--task-deadline", "30",
+             "--inject-faults", '[{"site": "task", "action": "kill", "nth": 2}]']
+        )
+        assert code == 0
+        assert output == expected
+        assert capsys.readouterr().err == ""
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--inject-faults", "not json"],
+            ["--inject-faults", '[{"site": "nope", "action": "raise"}]'],
+            ["--task-deadline", "0"],
+            ["--max-document-chars", "0"],
+            ["--max-arena-cells", "-3"],
+        ],
+    )
+    def test_bad_resilience_flags_exit_two_one_line(self, batch_paths, flags, capsys):
+        code, _output = run_cli(["batch", contact_pattern(), *batch_paths, *flags])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert err.startswith("repro batch: error:")
+        assert "Traceback" not in err
+
+    def test_pool_start_failure_is_one_line(self, batch_paths, capsys, monkeypatch):
+        from repro.runtime.resilience import SupervisedPool
+
+        def refuse(self):
+            raise OSError("cannot fork: resource temporarily unavailable")
+
+        monkeypatch.setattr(SupervisedPool, "_start", refuse)
+        code, _output = run_cli(
+            ["batch", contact_pattern(), *batch_paths, "--mode", "processes",
+             "--count-only"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert err.startswith("repro batch: error:")
+        assert "cannot fork" in err
+        assert "Traceback" not in err
+
+    def test_extract_workers_pool_start_failure_is_one_line(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import repro.spanners.spanner as spanner_module
+
+        class RefusingPool:
+            def __init__(self, *args, **kwargs):
+                raise OSError("cannot fork: resource temporarily unavailable")
+
+        monkeypatch.setattr(spanner_module, "ShardPool", RefusingPool)
+        big = tmp_path / "big.txt"
+        big.write_text("a" * 40000, encoding="utf-8")  # over the shard threshold
+        code, _output = run_cli(["extract", "x{a+}", str(big), "--workers", "2"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert err.startswith("repro extract: error:")
+        assert "Traceback" not in err
+
+
 class TestStream:
     @pytest.fixture
     def log_path(self, tmp_path):

@@ -114,8 +114,26 @@ class TestStats:
             "evictions": 0,
             "entries": 1,
             "max_entries": 2,
+            "build_failures": 0,
             "hit_ratio": 0.5,
         }
+
+    def test_build_failures_are_counted_and_leave_no_entry(self):
+        cache = PlanCache(2)
+
+        def explode():
+            raise RuntimeError("boom")
+
+        for _ in range(2):
+            with pytest.raises(RuntimeError):
+                cache.get_or_create("bad", explode)
+        assert len(cache) == 0
+        assert cache.stats().build_failures == 2
+        # A later successful build for the same key is unaffected.
+        cache.get_or_create("bad", object)
+        assert len(cache) == 1
+        cache.reset_stats()
+        assert cache.stats().build_failures == 0
 
 
 class TestThreadSafety:

@@ -96,6 +96,28 @@ class TestServerMetrics:
         assert snapshot["latency_seconds"]["samples"] == 1
         assert "plan_cache" not in snapshot
 
+    def test_snapshot_exposes_resilience_counters(self):
+        from repro.runtime.resilience import RESILIENCE_METRICS
+
+        RESILIENCE_METRICS.reset()
+        snapshot = ServerMetrics().snapshot()
+        assert snapshot["resilience"] == {
+            "tasks_retried": 0,
+            "worker_crashes": 0,
+            "deadlines_exceeded": 0,
+            "pool_rebuilds": 0,
+            "inline_fallbacks": 0,
+            "documents_quarantined": 0,
+            "resource_limit_trips": 0,
+        }
+        RESILIENCE_METRICS.resource_limit_tripped()
+        try:
+            assert (
+                ServerMetrics().snapshot()["resilience"]["resource_limit_trips"] == 1
+            )
+        finally:
+            RESILIENCE_METRICS.reset()
+
     def test_snapshot_merges_plan_cache_stats(self):
         metrics = ServerMetrics()
         cache = PlanCache(4)

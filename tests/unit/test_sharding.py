@@ -205,6 +205,29 @@ def test_shard_pool_rejects_nonpositive_workers():
         ShardPool(runtime, 0)
 
 
+def test_shard_pool_del_swallows_shutdown_errors_but_logs_real_bugs(caplog):
+    import logging
+
+    class ExplodingPool(ShardPool):
+        def __init__(self, error):
+            # Bypass worker startup; __del__ only ever calls close().
+            self._error = error
+
+        def close(self):
+            raise self._error
+
+    with caplog.at_level(logging.ERROR, logger="repro.runtime.sharding"):
+        # The interpreter-shutdown family is expected noise: swallowed.
+        for error in (OSError(), ValueError(), RuntimeError(), TypeError()):
+            ExplodingPool(error).__del__()
+        assert not caplog.records
+        # Anything else is a real bug: logged, never raised.
+        ExplodingPool(KeyError("boom")).__del__()
+    assert any(
+        "unexpected error" in record.getMessage() for record in caplog.records
+    )
+
+
 # ---------------------------------------------------------------------- #
 # The plan axis
 # ---------------------------------------------------------------------- #
