@@ -1,4 +1,4 @@
-"""Run the benchmark suite, gate it, and emit the BENCH_9.json snapshot.
+"""Run the benchmark suite, gate it, and emit the BENCH_10.json snapshot.
 
 One entry point for everything CI (and a developer refreshing baselines)
 needs:
@@ -17,7 +17,7 @@ needs:
    physically unreachable regardless of engine quality, so it runs
    through ``--soft-min-speedup`` (reported, never failing) while the
    core-independent shard overhead ratios stay gated hard everywhere;
-3. write a consolidated perf-trajectory snapshot — ``BENCH_9.json`` at the
+3. write a consolidated perf-trajectory snapshot — ``BENCH_10.json`` at the
    repository root — containing only the machine-portable ratio metrics of
    every workload (plus ``cpu_count``, the effective shard worker count,
    and whether/which numpy backed the run-length kernel's int64 path, so
@@ -26,7 +26,7 @@ needs:
 
 Usage::
 
-    python benchmarks/run_all.py [--full] [--skip-gates] [--output BENCH_9.json]
+    python benchmarks/run_all.py [--full] [--skip-gates] [--output BENCH_10.json]
 
 ``--full`` runs the full-size workloads instead of the CI smokes (and
 skips the gates: the committed baselines are smoke-sized, so comparing
@@ -222,13 +222,13 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output",
         default=None,
-        help="path of the consolidated snapshot (default: BENCH_9.json at the "
-        "repo root for smoke runs, BENCH_9_full.json for --full so a local "
+        help="path of the consolidated snapshot (default: BENCH_10.json at the "
+        "repo root for smoke runs, BENCH_10_full.json for --full so a local "
         "full-size run never overwrites the committed smoke trajectory)",
     )
     args = parser.parse_args(argv)
     if args.output is None:
-        name = "BENCH_9_full.json" if args.full else "BENCH_9.json"
+        name = "BENCH_10_full.json" if args.full else "BENCH_10.json"
         args.output = os.path.join(REPO_ROOT, name)
 
     mode_args = [] if args.full else ["--smoke"]
@@ -241,7 +241,7 @@ def main(argv=None) -> int:
     failures: list[str] = []
     cpu_count = os.cpu_count() or 1
     snapshot = {
-        "pr": 9,
+        "pr": 10,
         "smoke": not args.full,
         "cpu_count": cpu_count,
         # The run-length count ratios depend on whether the exact-int64

@@ -190,10 +190,18 @@ class Document:
             yield text[begin : begin + chunk_size]
 
     def lines(self) -> Iterator[tuple[Span, str]]:
-        """Yield ``(span, line)`` pairs, one per line (newline excluded)."""
+        """Yield ``(span, line)`` pairs, one per line (terminator excluded).
+
+        Lines are split exactly as :meth:`str.splitlines` does, so every
+        terminator it recognizes (``\\n``, ``\\r\\n``, ``\\r``, ``\\v``,
+        ``\\f``, ...) ends a line, and the yielded text and span stop
+        before the terminator rather than just before a trailing ``\\n``.
+        """
         begin = 0
         for line in self._text.splitlines(keepends=True):
-            stripped = line.rstrip("\n")
+            # Re-splitting one keepends chunk strips whatever terminator
+            # ended it, without hard-coding the terminator set.
+            stripped = line.splitlines()[0] if line else line
             yield Span(begin, begin + len(stripped)), stripped
             begin += len(line)
 

@@ -16,7 +16,9 @@ it, so it pays to *compile* the automaton once:
 
 The resulting :class:`CompiledEVA` is immutable, cheap to pickle (plain
 tuples and lists of ints plus the interned marker sets), and is the input
-format of the integer-only inner loop in :mod:`repro.runtime.engine` and of
+format of every generated Algorithm-1 inner loop in
+:mod:`repro.runtime.kernel` (the engine entry points in
+:mod:`repro.runtime.engine` and its siblings bind one kernel each) and of
 the multiprocessing batch engine in :mod:`repro.runtime.batch`.
 """
 

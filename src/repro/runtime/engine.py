@@ -1,4 +1,4 @@
-"""The integer-only inner evaluation loop over a :class:`CompiledEVA`.
+"""The integer-only evaluation entry points over a :class:`CompiledEVA`.
 
 This is Algorithm 1 again — the same capturing/reading alternation and the
 same lazy-list DAG construction as the reference engine in
@@ -33,6 +33,15 @@ whose character class leaves the current state at C speed (for byte
 buffers; a tight Python loop otherwise).  No arena cell, lazy list or
 snapshot is touched while sprinting.
 
+Since the kernel-spec refactor the loops themselves live in
+:mod:`repro.runtime.kernel`: each entry point here binds one generated
+kernel (one :class:`~repro.runtime.kernel.KernelSpec` point) at import
+time and wraps it behind the stable public signature — encode the
+document, borrow the scratch, run the kernel, collect the result, hand
+the scratch back.  The generated loops are statement-for-statement the
+hand-written ones this module used to carry, so arenas stay
+bit-identical and the sprint fast path keeps its benchmarked floors.
+
 The produced :class:`~repro.enumeration.evaluate.ResultDag` is keyed by the
 original automaton states, so enumeration, counting and the delay profiler
 work on it unchanged.
@@ -40,12 +49,12 @@ work on it unchanged.
 
 from __future__ import annotations
 
-from repro.core.errors import EvaluationError, NotDeterministicError
-from repro.enumeration.dag import BOTTOM, DagNode
+from repro.core.errors import EvaluationError
 from repro.enumeration.evaluate import ResultDag
 from repro.enumeration.lazylist import LazyList
-from repro.runtime.compiled import NO_TARGET, CompiledEVA
+from repro.runtime.compiled import CompiledEVA
 from repro.runtime.dag import NIL, CompiledResultDag
+from repro.runtime.kernel import KernelSpec, build_kernel, sprint
 
 __all__ = [
     "EvaluationScratch",
@@ -53,6 +62,10 @@ __all__ = [
     "evaluate_compiled",
     "evaluate_compiled_arena",
 ]
+
+# Back-compat alias: the sprint helper moved to the kernel module with the
+# kernel-spec refactor; sibling engines historically import it from here.
+_sprint = sprint
 
 
 class EvaluationScratch:
@@ -106,48 +119,62 @@ def _checked_scratch(
     return scratch
 
 
-def _sprint(
-    compiled: CompiledEVA, buf, pos: int, n: int, state: int, use_patterns: bool
-) -> tuple[int, int]:
-    """Advance a lone silent run until it stops being boring.
+_lazylist_kernel = build_kernel(KernelSpec(capture="lazylist"))
+_arena_kernel = build_kernel(KernelSpec(capture="arena"))
+_count_kernel = build_kernel(KernelSpec(capture="count"))
 
-    Returns ``(state, pos)``.  ``state == NO_TARGET`` means the run died at
-    ``pos``; otherwise either ``pos == n`` (document exhausted, *state*
-    still live) or ``state`` is non-silent (a capturing phase is due at
-    ``pos``).  Precondition: *state* is silent and ``pos < n``.
 
-    With a ``bytes`` buffer, stretches where *state* self-loops are skipped
-    by :meth:`CompiledEVA.sprint_pattern` — a C-level scan for the next
-    class id that leaves the state — so the Python-level cost is one
-    iteration per state *change*, not per character.
+def _collect_arena(
+    compiled: CompiledEVA,
+    n: int,
+    scratch: EvaluationScratch,
+    result: tuple,
+) -> CompiledResultDag:
+    """Turn an arena kernel's raw return into a :class:`CompiledResultDag`.
+
+    Collects the final-state entry pairs, releases the borrowed slot
+    arrays for the next document and writes the (possibly swapped) slot
+    arrays back into the scratch.  Shared by the scalar arena engine and
+    the run-length engine, which return the same tuple shape.
     """
-    class_table = compiled.class_table
-    silent = compiled.silent
-    if use_patterns:
-        while True:
-            match = compiled.sprint_pattern(state).search(buf, pos)
-            if match is None:
-                return state, n
-            pos = match.start()
-            target = class_table[state][buf[pos]]
-            pos += 1
-            if target < 0:
-                return NO_TARGET, pos
-            state = target
-            if pos >= n or not silent[state]:
-                return state, pos
-    row = class_table[state]
-    while pos < n:
-        target = row[buf[pos]]
-        pos += 1
-        if target < 0:
-            return NO_TARGET, pos
-        if target != state:
-            if not silent[target]:
-                return target, pos
-            state = target
-            row = class_table[state]
-    return state, pos
+    (
+        active,
+        cur_start,
+        cur_end,
+        pend_start,
+        pend_end,
+        node_markers,
+        node_positions,
+        node_starts,
+        node_ends,
+        cell_nodes,
+        cell_nexts,
+    ) = result
+
+    is_final = compiled.is_final
+    final_entries = []
+    for state in active:
+        if is_final[state] and cur_start[state] != NIL:
+            final_entries.append((state, cur_start[state], cur_end[state]))
+
+    for state in active:
+        cur_start[state] = NIL
+    scratch.cur_start = cur_start
+    scratch.cur_end = cur_end
+    scratch.pend_start = pend_start
+    scratch.pend_end = pend_end
+
+    return CompiledResultDag(
+        compiled,
+        n,
+        node_markers,
+        node_positions,
+        node_starts,
+        node_ends,
+        cell_nodes,
+        cell_nexts,
+        final_entries,
+    )
 
 
 def evaluate_compiled(
@@ -170,113 +197,7 @@ def evaluate_compiled(
     n = encoded.length
     scratch = _checked_scratch(compiled, scratch)
 
-    current = scratch.current
-    pending = scratch.pending
-    variable_table = compiled.variable_table
-    class_table = compiled.class_table
-    silent = compiled.silent
-    marker_sets = compiled.marker_sets
-    use_patterns = fast_path and isinstance(buf, bytes)
-
-    initial_list = LazyList()
-    initial_list.add(BOTTOM)
-    initial = compiled.initial
-    current[initial] = initial_list
-    active = [initial]
-    quiet = silent[initial]
-
-    def capturing(position: int) -> None:
-        # Simulate the extended variable transitions at `position`.  The
-        # snapshot is taken before any additions so that a transition's
-        # source list is its pre-phase value.
-        snapshot = [
-            (state, current[state].lazycopy())
-            for state in active
-            if variable_table[state]
-        ]
-        for state, old_list in snapshot:
-            for set_id, target in variable_table[state]:
-                node = DagNode(marker_sets[set_id], position, old_list)
-                target_list = current[target]
-                if target_list is None:
-                    target_list = LazyList()
-                    current[target] = target_list
-                    active.append(target)
-                target_list.add(node)
-
-    pos = 0
-    while pos < n:
-        if quiet and fast_path:
-            if len(active) == 1:
-                # Quiescent sprint: the lone silent run's list rides along
-                # untouched while the reading-only loop below advances it.
-                state = active[0]
-                carried = current[state]
-                current[state] = None
-                state, pos = _sprint(compiled, buf, pos, n, state, use_patterns)
-                if state < 0:
-                    active = []
-                    break
-                current[state] = carried
-                active[0] = state
-                quiet = silent[state]
-                if pos >= n:
-                    break
-            elif use_patterns:
-                # Several silent runs: skip to the next class on which at
-                # least one of them stops self-looping; everything before
-                # it leaves the whole set (and its lists) untouched.
-                match = compiled.sprint_pattern_multi(
-                    tuple(sorted(active))
-                ).search(buf, pos)
-                if match is None:
-                    pos = n
-                    break
-                pos = match.start()
-        if not quiet:
-            alive = len(active)
-            capturing(pos)
-            if len(active) > alive:
-                # Restore the canonical (sorted-by-id) live order after
-                # the capture phase appended fresh targets.
-                active.sort()
-
-        # Reading phase: consume the character class, moving every live
-        # list through its (unique) letter transition.  The foreign class
-        # column is all NO_TARGET, so out-of-alphabet characters kill every
-        # run with no special case.
-        symbol = buf[pos]
-        pos += 1
-        next_active: list[int] = []
-        quiet = True
-        for state in active:
-            old_list = current[state]
-            current[state] = None
-            target = class_table[state][symbol]
-            if target < 0:
-                continue
-            target_list = pending[target]
-            if target_list is None:
-                target_list = LazyList()
-                pending[target] = target_list
-                next_active.append(target)
-                if quiet and not silent[target]:
-                    quiet = False
-            target_list.append(old_list)
-        current, pending = pending, current
-        if len(next_active) > 1:
-            next_active.sort()
-        active = next_active
-        if not active:
-            break
-
-    # Final capturing phase at position n (no-op if no run survived or
-    # every surviving run is silent).
-    if active and not quiet:
-        alive = len(active)
-        capturing(pos)
-        if len(active) > alive:
-            active.sort()
+    active, current, pending = _lazylist_kernel(compiled, buf, n, scratch, fast_path)
 
     state_objects = compiled.state_objects
     final_lists = {}
@@ -320,168 +241,8 @@ def evaluate_compiled_arena(
     buf = encoded.buffer
     n = encoded.length
     scratch = _checked_scratch(compiled, scratch)
-
-    cur_start = scratch.cur_start
-    cur_end = scratch.cur_end
-    pend_start = scratch.pend_start
-    pend_end = scratch.pend_end
-    variable_table = compiled.variable_table
-    class_table = compiled.class_table
-    silent = compiled.silent
-    use_patterns = fast_path and isinstance(buf, bytes)
-
-    node_markers: list[int] = []
-    node_positions: list[int] = []
-    node_starts: list[int] = []
-    node_ends: list[int] = []
-    cell_nodes: list[int] = [NIL]  # cell 0: the initial list [⊥]
-    cell_nexts: list[int] = [NIL]
-
-    initial = compiled.initial
-    cur_start[initial] = 0
-    cur_end[initial] = 0
-    active = [initial]
-    quiet = silent[initial]
-
-    def capturing(position: int) -> None:
-        # The (start, end) snapshot *is* the paper's lazycopy: pairs are
-        # values, so the pre-phase lists are captured for free.
-        snapshot = [
-            (state, cur_start[state], cur_end[state])
-            for state in active
-            if variable_table[state]
-        ]
-        for state, old_start, old_end in snapshot:
-            for set_id, target in variable_table[state]:
-                node = len(node_markers)
-                node_markers.append(set_id)
-                node_positions.append(position)
-                node_starts.append(old_start)
-                node_ends.append(old_end)
-                # add(node) on the target's list.
-                cell = len(cell_nodes)
-                cell_nodes.append(node)
-                target_start = cur_start[target]
-                cell_nexts.append(target_start)
-                if target_start == NIL:
-                    cur_end[target] = cell
-                    active.append(target)
-                cur_start[target] = cell
-
-    pos = 0
-    while pos < n:
-        if quiet and fast_path:
-            if len(active) == 1:
-                # Quiescent sprint: park the (start, end) pair, chase
-                # letter transitions only.  With a bytes buffer the chase
-                # is a C-level pattern search per state change, not a
-                # Python step per char.
-                state = active[0]
-                start = cur_start[state]
-                end = cur_end[state]
-                cur_start[state] = NIL
-                state, pos = _sprint(compiled, buf, pos, n, state, use_patterns)
-                if state < 0:
-                    active = []
-                    break
-                cur_start[state] = start
-                cur_end[state] = end
-                active[0] = state
-                quiet = silent[state]
-                if pos >= n:
-                    break
-            elif use_patterns:
-                # Several silent runs: skip to the next class on which at
-                # least one of them stops self-looping; everything before
-                # it leaves the whole set (and its pairs) untouched.
-                match = compiled.sprint_pattern_multi(
-                    tuple(sorted(active))
-                ).search(buf, pos)
-                if match is None:
-                    pos = n
-                    break
-                pos = match.start()
-        if not quiet:
-            alive = len(active)
-            capturing(pos)
-            if len(active) > alive:
-                # Restore the canonical (sorted-by-id) live order after
-                # the capture phase appended fresh targets; the sharded
-                # engine replays fragments assuming exactly this order.
-                active.sort()
-
-        # Reading phase: move every live pair through its (unique) letter
-        # transition; the foreign class column is all NO_TARGET, so
-        # out-of-alphabet characters kill every run uniformly.
-        symbol = buf[pos]
-        pos += 1
-        next_active: list[int] = []
-        quiet = True
-        for state in active:
-            old_start = cur_start[state]
-            old_end = cur_end[state]
-            cur_start[state] = NIL
-            target = class_table[state][symbol]
-            if target < 0:
-                continue
-            target_start = pend_start[target]
-            if target_start == NIL:
-                pend_start[target] = old_start
-                pend_end[target] = old_end
-                next_active.append(target)
-                if quiet and not silent[target]:
-                    quiet = False
-            else:
-                # append(old_list): splice at the end of the target's
-                # pending list; the end cell's next must still be unset.
-                end_cell = pend_end[target]
-                if cell_nexts[end_cell] != NIL:
-                    raise NotDeterministicError(
-                        "arena append would overwrite a next pointer; the "
-                        "compiled automaton is not deterministic"
-                    )
-                cell_nexts[end_cell] = old_start
-                pend_end[target] = old_end
-        cur_start, pend_start = pend_start, cur_start
-        cur_end, pend_end = pend_end, cur_end
-        if len(next_active) > 1:
-            next_active.sort()
-        active = next_active
-        if not active:
-            break
-
-    # Final capturing phase at position n (no-op if no run survived or
-    # every surviving run is silent).
-    if active and not quiet:
-        alive = len(active)
-        capturing(pos)
-        if len(active) > alive:
-            active.sort()
-
-    is_final = compiled.is_final
-    final_entries = []
-    for state in active:
-        if is_final[state] and cur_start[state] != NIL:
-            final_entries.append((state, cur_start[state], cur_end[state]))
-
-    for state in active:
-        cur_start[state] = NIL
-    scratch.cur_start = cur_start
-    scratch.cur_end = cur_end
-    scratch.pend_start = pend_start
-    scratch.pend_end = pend_end
-
-    return CompiledResultDag(
-        compiled,
-        n,
-        node_markers,
-        node_positions,
-        node_starts,
-        node_ends,
-        cell_nodes,
-        cell_nexts,
-        final_entries,
-    )
+    result = _arena_kernel(compiled, buf, n, scratch, fast_path)
+    return _collect_arena(compiled, n, scratch, result)
 
 
 def count_compiled(
@@ -506,91 +267,7 @@ def count_compiled(
     n = encoded.length
     scratch = _checked_scratch(compiled, scratch)
 
-    counts = scratch.count_cur
-    pending = scratch.count_pend
-    variable_table = compiled.variable_table
-    class_table = compiled.class_table
-    silent = compiled.silent
-    use_patterns = fast_path and isinstance(buf, bytes)
-
-    initial = compiled.initial
-    counts[initial] = 1
-    active = [initial]
-    quiet = silent[initial]
-
-    def capturing() -> None:
-        snapshot = [
-            (state, counts[state]) for state in active if variable_table[state]
-        ]
-        for state, amount in snapshot:
-            for _set_id, target in variable_table[state]:
-                if counts[target] == 0:
-                    active.append(target)
-                counts[target] += amount
-
-    pos = 0
-    while pos < n:
-        if quiet and fast_path:
-            if len(active) == 1:
-                # Quiescent sprint: a lone silent run's count is invariant
-                # under reading (deterministic transitions never fork).
-                state = active[0]
-                amount = counts[state]
-                counts[state] = 0
-                state, pos = _sprint(compiled, buf, pos, n, state, use_patterns)
-                if state < 0:
-                    active = []
-                    break
-                counts[state] = amount
-                active[0] = state
-                quiet = silent[state]
-                if pos >= n:
-                    break
-            elif use_patterns:
-                # Several silent runs: their counts are invariant until a
-                # class leaves at least one of them.
-                match = compiled.sprint_pattern_multi(
-                    tuple(sorted(active))
-                ).search(buf, pos)
-                if match is None:
-                    pos = n
-                    break
-                pos = match.start()
-        if not quiet:
-            alive = len(active)
-            capturing()
-            if len(active) > alive:
-                active.sort()
-
-        symbol = buf[pos]
-        pos += 1
-        next_active: list[int] = []
-        quiet = True
-        for state in active:
-            amount = counts[state]
-            counts[state] = 0
-            if not amount:
-                continue
-            target = class_table[state][symbol]
-            if target < 0:
-                continue
-            if pending[target] == 0:
-                next_active.append(target)
-                if quiet and not silent[target]:
-                    quiet = False
-            pending[target] += amount
-        counts, pending = pending, counts
-        if len(next_active) > 1:
-            next_active.sort()
-        active = next_active
-        if not active:
-            break
-
-    if active and not quiet:
-        alive = len(active)
-        capturing()
-        if len(active) > alive:
-            active.sort()
+    active, counts, pending = _count_kernel(compiled, buf, n, scratch, fast_path)
 
     is_final = compiled.is_final
     total = sum(counts[state] for state in active if is_final[state])

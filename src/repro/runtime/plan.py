@@ -70,6 +70,7 @@ from dataclasses import dataclass
 from typing import Callable, Generic, Hashable, TypeVar
 
 from repro.automata.analysis import AutomatonStatistics
+from repro.runtime.kernel import KERNELS
 
 __all__ = [
     "ENGINE_CHOICES",
@@ -94,10 +95,11 @@ ENGINE_CHOICES = ("auto", "compiled", "compiled-otf", "reference", "hybrid")
 #: its measured run-length statistics.  Unlike ``engine``, a plan may
 #: carry ``kernel="auto"``: the decision is inherently per-document
 #: (mean run length is a document property, not an automaton property).
-#: ``repro.runtime.runlength.KERNELS`` mirrors this tuple — the kernel
-#: module stays outside the strictly-typed surface, so the constant is
-#: duplicated and a unit test pins the two equal.
-KERNEL_CHOICES = ("auto", "scalar", "runlength")
+#: The tuple is defined once, in :mod:`repro.runtime.kernel` (the module
+#: that owns the kernel axis of the spec), and re-exported here and as
+#: ``repro.runtime.runlength.KERNELS`` — the three names can no longer
+#: drift, and a unit test still pins them equal.
+KERNEL_CHOICES = KERNELS
 
 #: Above this many sequential-automaton states, ``auto`` refuses to
 #: determinize a non-deterministic automaton up front: the subset

@@ -56,16 +56,18 @@ differential harness asserts exactly that.
 
 from __future__ import annotations
 
-from repro.core.errors import EvaluationError, NotDeterministicError
+from repro.core.errors import EvaluationError
 from repro.runtime.compiled import CompiledEVA
-from repro.runtime.dag import NIL, CompiledResultDag
+from repro.runtime.dag import CompiledResultDag
 from repro.runtime.encoding import runs_of_buffer
 from repro.runtime.engine import (
     EvaluationScratch,
     _checked_scratch,
+    _collect_arena,
     count_compiled,
     evaluate_compiled_arena,
 )
+from repro.runtime.kernel import KERNELS, KernelSpec, build_kernel
 from repro.runtime.subset import CompiledSubsetEVA, count_subset
 
 try:  # pragma: no cover - exercised via both CI matrix flavours
@@ -94,10 +96,10 @@ __all__ = [
     "summary_runlength",
 ]
 
-#: The planner-facing kernel axis.  ``plan.KERNEL_CHOICES`` mirrors this
-#: tuple (a unit test pins the two equal); it lives here too so the
-#: kernel layer has no import edge into the strictly-typed plan module.
-KERNELS = ("auto", "scalar", "runlength")
+# KERNELS (the planner-facing kernel axis) is defined once in
+# :mod:`repro.runtime.kernel` and re-exported here for back-compat;
+# ``plan.KERNEL_CHOICES`` imports the same tuple, so the two can no
+# longer drift (a unit test still pins them equal).
 
 #: ``kernel="auto"`` heuristics: below this document length the kernel
 #: construction cost cannot amortize, and below this mean run length the
@@ -658,6 +660,10 @@ def count_runlength(
 # Full-capture arena evaluation with the generalized sprint
 # ---------------------------------------------------------------------- #
 
+_runlength_arena_kernel = build_kernel(
+    KernelSpec(capture="arena", kernel="runlength")
+)
+
 
 def evaluate_runlength_arena(
     compiled: CompiledEVA,
@@ -684,196 +690,8 @@ def evaluate_runlength_arena(
     runs = encoded.runs()
     kernel = runlength_kernel(compiled)
     scratch = _checked_scratch(compiled, scratch)
-
-    cur_start = scratch.cur_start
-    cur_end = scratch.cur_end
-    pend_start = scratch.pend_start
-    pend_end = scratch.pend_end
-    variable_table = compiled.variable_table
-    class_table = compiled.class_table
-    silent = compiled.silent
-
-    node_markers: list[int] = []
-    node_positions: list[int] = []
-    node_starts: list[int] = []
-    node_ends: list[int] = []
-    cell_nodes: list[int] = [NIL]  # cell 0: the initial list [⊥]
-    cell_nexts: list[int] = [NIL]
-
-    initial = compiled.initial
-    cur_start[initial] = 0
-    cur_end[initial] = 0
-    active = [initial]
-    quiet = silent[initial]
-
-    def capturing(position: int) -> None:
-        # Verbatim the scalar arena capture phase: the (start, end)
-        # snapshot is the paper's lazycopy, pairs are values.
-        snapshot = [
-            (state, cur_start[state], cur_end[state])
-            for state in active
-            if variable_table[state]
-        ]
-        for state, old_start, old_end in snapshot:
-            for set_id, target in variable_table[state]:
-                node = len(node_markers)
-                node_markers.append(set_id)
-                node_positions.append(position)
-                node_starts.append(old_start)
-                node_ends.append(old_end)
-                cell = len(cell_nodes)
-                cell_nodes.append(node)
-                target_start = cur_start[target]
-                cell_nexts.append(target_start)
-                if target_start == NIL:
-                    cur_end[target] = cell
-                    active.append(target)
-                cur_start[target] = cell
-
-    pos = 0
-    dead = False
-    for cls, length in runs:
-        remaining = length
-        while remaining:
-            if quiet and fast_path:
-                if len(active) == 1:
-                    # Lone silent run: its whole trajectory through this
-                    # class is memoized — state changes, death and the
-                    # first non-silent landing all resolve in O(1).
-                    state = active[0]
-                    kind, seq, _cycle = kernel.sprint_path(cls, state)
-                    if kind == "dies" and remaining >= len(seq):
-                        cur_start[state] = NIL
-                        active = []
-                        dead = True
-                        break
-                    if kind == "exits" and remaining > len(seq) - 2:
-                        consumed = len(seq) - 1
-                        landing = seq[-1]
-                        quiet = False
-                    else:
-                        consumed = remaining
-                        landing = kernel.silent_target(cls, state, consumed)
-                    start = cur_start[state]
-                    end = cur_end[state]
-                    cur_start[state] = NIL
-                    cur_start[landing] = start
-                    cur_end[landing] = end
-                    active[0] = landing
-                    pos += consumed
-                    remaining -= consumed
-                    continue
-                # Several silent runs: jump the longest prefix over
-                # which no merge happens and no landing is non-silent —
-                # renames and deaths write nothing, so the prefix is
-                # free.  This strictly subsumes the scalar engine's
-                # all-self-looping multi sprint.
-                mask = 0
-                for state in active:
-                    mask |= 1 << state
-                seq_masks, cycle = kernel.mask_path(cls, mask)
-                free = (
-                    remaining
-                    if cycle is not None
-                    else min(remaining, len(seq_masks) - 1)
-                )
-                if free:
-                    moved = []
-                    for state in active:
-                        target = kernel.silent_target(cls, state, free)
-                        if target is not None:
-                            moved.append(
-                                (target, cur_start[state], cur_end[state])
-                            )
-                        cur_start[state] = NIL
-                    for target, start, end in moved:
-                        cur_start[target] = start
-                        cur_end[target] = end
-                    active = sorted(target for target, _s, _e in moved)
-                    pos += free
-                    remaining -= free
-                    if not active:
-                        dead = True
-                        break
-                    continue
-                # free == 0: the very next position merges or goes
-                # non-silent — fall through to one scalar step.
-            if not quiet:
-                alive = len(active)
-                capturing(pos)
-                if len(active) > alive:
-                    active.sort()
-
-            # One scalar reading step on class `cls` — verbatim the
-            # scalar arena reading phase.
-            pos += 1
-            remaining -= 1
-            next_active: list[int] = []
-            quiet = True
-            for state in active:
-                old_start = cur_start[state]
-                old_end = cur_end[state]
-                cur_start[state] = NIL
-                target = class_table[state][cls]
-                if target < 0:
-                    continue
-                target_start = pend_start[target]
-                if target_start == NIL:
-                    pend_start[target] = old_start
-                    pend_end[target] = old_end
-                    next_active.append(target)
-                    if quiet and not silent[target]:
-                        quiet = False
-                else:
-                    end_cell = pend_end[target]
-                    if cell_nexts[end_cell] != NIL:
-                        raise NotDeterministicError(
-                            "arena append would overwrite a next pointer; "
-                            "the compiled automaton is not deterministic"
-                        )
-                    cell_nexts[end_cell] = old_start
-                    pend_end[target] = old_end
-            cur_start, pend_start = pend_start, cur_start
-            cur_end, pend_end = pend_end, cur_end
-            if len(next_active) > 1:
-                next_active.sort()
-            active = next_active
-            if not active:
-                dead = True
-                break
-        if dead:
-            break
-
-    if active and not quiet:
-        alive = len(active)
-        capturing(n)
-        if len(active) > alive:
-            active.sort()
-
-    is_final = compiled.is_final
-    final_entries = []
-    for state in active:
-        if is_final[state] and cur_start[state] != NIL:
-            final_entries.append((state, cur_start[state], cur_end[state]))
-
-    for state in active:
-        cur_start[state] = NIL
-    scratch.cur_start = cur_start
-    scratch.cur_end = cur_end
-    scratch.pend_start = pend_start
-    scratch.pend_end = pend_end
-
-    return CompiledResultDag(
-        compiled,
-        n,
-        node_markers,
-        node_positions,
-        node_starts,
-        node_ends,
-        cell_nodes,
-        cell_nexts,
-        final_entries,
-    )
+    result = _runlength_arena_kernel(compiled, kernel, runs, n, scratch, fast_path)
+    return _collect_arena(compiled, n, scratch, result)
 
 
 # ---------------------------------------------------------------------- #

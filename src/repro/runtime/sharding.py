@@ -74,7 +74,13 @@ from repro.core.errors import (
 from repro.runtime import resilience
 from repro.runtime.compiled import CompiledEVA
 from repro.runtime.dag import NIL, CompiledResultDag
-from repro.runtime.engine import _sprint
+from repro.runtime.kernel import (
+    SUMMARY_MEMO_CAP,
+    KernelSpec,
+    _entry_start_ref,
+    _entry_end_ref,
+    build_kernel,
+)
 from repro.runtime.runlength import (
     count_vectors_runlength,
     resolve_kernel,
@@ -105,10 +111,9 @@ __all__ = [
 #: bypass the threshold by calling :func:`evaluate_sharded` directly.
 DEFAULT_SHARD_MIN_CHARS = 32768
 
-#: Cap on the per-shard ``(state, position) → frontier`` memo of the
-#: summary pass; past it, checkpoints are simply not recorded (the pass
-#: stays correct, later entry states just re-walk more of the shard).
-SUMMARY_MEMO_CAP = 1 << 16
+# SUMMARY_MEMO_CAP (the cap on the per-shard ``(state, position) →
+# frontier`` memo of the summary pass) moved to the kernel module with
+# the kernel-spec refactor and is re-exported above for back-compat.
 
 
 # ---------------------------------------------------------------------- #
@@ -218,104 +223,18 @@ def plan_shards(length: int, shards: int) -> list[tuple[int, int]]:
 # ---------------------------------------------------------------------- #
 
 
-def _frontier_run(
-    compiled: CompiledEVA,
-    buf,
-    n: int,
-    entry: int,
-    memo: dict | None,
-    fast_path: bool,
-) -> tuple[int, ...]:
-    """The frontier at position *n* of the run set entered at *entry*.
-
-    The state-set shadow of the engines' loop: capturing adds each live
-    state's variable targets (a no-op exactly when the state is silent),
-    reading moves every state through its letter transition and drops
-    the dead.  No arena, no pairs, no counts — and the same quiescent
-    sprints, so a shard of sparse input costs one C-level scan.
-
-    Whenever the set collapses to a single state, ``(state, position)``
-    fully determines the rest of the run; *memo* caches those
-    checkpoints across entry states (it converges quickly: most entry
-    states die or merge into one surviving trajectory).
-    """
-    class_table = compiled.class_table
-    variable_table = compiled.variable_table
-    silent = compiled.silent
-    use_patterns = fast_path and isinstance(buf, bytes)
-
-    active = [entry]
-    quiet = silent[entry]
-    trail: list[tuple[int, int]] = []
-    frontier: tuple[int, ...] | None = None
-
-    pos = 0
-    while pos < n:
-        if len(active) == 1:
-            key = (active[0], pos)
-            if memo is not None:
-                hit = memo.get(key)
-                if hit is not None:
-                    frontier = hit
-                    break
-                if len(memo) < SUMMARY_MEMO_CAP:
-                    trail.append(key)
-        if quiet and fast_path:
-            if len(active) == 1:
-                state, pos = _sprint(compiled, buf, pos, n, active[0], use_patterns)
-                if state < 0:
-                    active = []
-                    break
-                active[0] = state
-                quiet = silent[state]
-                if pos >= n:
-                    break
-                continue
-            elif use_patterns:
-                match = compiled.sprint_pattern_multi(tuple(active)).search(buf, pos)
-                if match is None:
-                    pos = n
-                    break
-                pos = match.start()
-        if not quiet:
-            # Capturing, reduced to its state-set effect: each live state
-            # with variable transitions adds its targets (snapshot first,
-            # like the engines — fresh targets don't fire at this position).
-            present = set(active)
-            added = False
-            for state in [s for s in active if variable_table[s]]:
-                for _set_id, target in variable_table[state]:
-                    if target not in present:
-                        present.add(target)
-                        active.append(target)
-                        added = True
-            if added:
-                active.sort()
-
-        symbol = buf[pos]
-        pos += 1
-        seen = set()
-        next_active: list[int] = []
-        quiet = True
-        for state in active:
-            target = class_table[state][symbol]
-            if target < 0 or target in seen:
-                continue
-            seen.add(target)
-            next_active.append(target)
-            if quiet and not silent[target]:
-                quiet = False
-        next_active.sort()
-        active = next_active
-        if not active:
-            break
-
-    if frontier is None:
-        frontier = tuple(active)
-    if memo is not None:
-        for key in trail:
-            memo[key] = frontier
-    return frontier
+# The frontier at position ``n`` of the run set entered at ``entry`` —
+# the state-set shadow of the engines' loop (the ``capture="frontier"``
+# kernel spec): capturing adds each live state's variable targets,
+# reading moves every state through its letter transition and drops the
+# dead.  No arena, no pairs, no counts — and the same quiescent sprints,
+# so a shard of sparse input costs one C-level scan.  Whenever the set
+# collapses to a single state, ``(state, position)`` fully determines
+# the rest of the run; the ``memo`` argument caches those checkpoints
+# across entry states (it converges quickly: most entry states die or
+# merge into one surviving trajectory).  Signature:
+# ``_frontier_run(compiled, buf, n, entry, memo, fast_path)``.
+_frontier_run = build_kernel(KernelSpec(capture="frontier", entry="states"))
 
 
 def shard_summary(
@@ -373,14 +292,17 @@ def compose_summaries(
 # ---------------------------------------------------------------------- #
 
 
-def _entry_start_ref(index: int) -> int:
-    """The placeholder standing for entry list *index*'s start cell."""
-    return -(2 + 2 * index)
+# _entry_start_ref / _entry_end_ref (the negative placeholder encoding
+# for entry lists living in earlier shards) moved to the kernel module —
+# the replay kernel allocates them — and are re-exported above.
 
+# The arena kernel entered at a caller-provided state set (the
+# ``entry="states"`` spec point): relocatable splices via deferred
+# fixups, the final capturing phase gated on ``is_last``.
+_replay_kernel = build_kernel(KernelSpec(capture="arena", entry="states"))
 
-def _entry_end_ref(index: int) -> int:
-    """The placeholder standing for entry list *index*'s end cell."""
-    return -(3 + 2 * index)
+# Algorithm 3 entered at one caller-provided state (count vectors).
+_count_entry_kernel = build_kernel(KernelSpec(capture="count", entry="states"))
 
 
 class ShardFragment:
@@ -462,8 +384,9 @@ def replay_shard(
 ) -> ShardFragment:
     """Evaluate one shard with full capture semantics.
 
-    The arena engine's loop verbatim, started at the canonical (sorted)
-    entry-state list *entries* instead of the initial state, over the
+    The arena kernel in its ``entry="states"`` flavour: the same
+    generated loop as the one-pass engine, started at the canonical
+    (sorted) entry-state list *entries* instead of the initial state, over the
     shard's buffer slice (*base* is the shard's absolute start position,
     added to every node position).  The first shard allocates cell 0
     (the initial list ``[⊥]``) and must be entered at the initial state;
@@ -478,156 +401,24 @@ def replay_shard(
     ``sorted(entries)`` visits states, allocates nodes/cells and splices
     lists in the same order the one-pass engine does.
     """
-    num_states = compiled.num_states
-    cur_start = [NIL] * num_states
-    cur_end = [NIL] * num_states
-    pend_start = [NIL] * num_states
-    pend_end = [NIL] * num_states
-    variable_table = compiled.variable_table
-    class_table = compiled.class_table
-    silent = compiled.silent
-    use_patterns = fast_path and isinstance(buf, bytes)
-
-    node_markers: list[int] = []
-    node_positions: list[int] = []
-    node_starts: list[int] = []
-    node_ends: list[int] = []
-    if is_first:
-        if tuple(entries) != (compiled.initial,):
-            raise EvaluationError(
-                "the first shard is entered at the compiled initial state, "
-                f"got entry set {tuple(entries)!r}"
-            )
-        cell_nodes: list[int] = [NIL]  # cell 0: the initial list [⊥]
-        cell_nexts: list[int] = [NIL]
-        cur_start[compiled.initial] = 0
-        cur_end[compiled.initial] = 0
-    else:
-        cell_nodes = []
-        cell_nexts = []
-        for index, state in enumerate(entries):
-            cur_start[state] = _entry_start_ref(index)
-            cur_end[state] = _entry_end_ref(index)
-    active = sorted(entries)
-    quiet = all(silent[state] for state in active)
-    fixups: dict[int, int] = {}
-
-    def capturing(position: int) -> None:
-        snapshot = [
-            (state, cur_start[state], cur_end[state])
-            for state in active
-            if variable_table[state]
-        ]
-        for state, old_start, old_end in snapshot:
-            for set_id, target in variable_table[state]:
-                node = len(node_markers)
-                node_markers.append(set_id)
-                node_positions.append(position)
-                node_starts.append(old_start)
-                node_ends.append(old_end)
-                cell = len(cell_nodes)
-                cell_nodes.append(node)
-                target_start = cur_start[target]
-                cell_nexts.append(target_start)
-                if target_start == NIL:
-                    cur_end[target] = cell
-                    active.append(target)
-                cur_start[target] = cell
-
-    pos = 0
-    while pos < n:
-        if quiet and fast_path:
-            if len(active) == 1:
-                state = active[0]
-                start = cur_start[state]
-                end = cur_end[state]
-                cur_start[state] = NIL
-                state, pos = _sprint(compiled, buf, pos, n, state, use_patterns)
-                if state < 0:
-                    active = []
-                    break
-                cur_start[state] = start
-                cur_end[state] = end
-                active[0] = state
-                quiet = silent[state]
-                if pos >= n:
-                    break
-            elif use_patterns:
-                match = compiled.sprint_pattern_multi(
-                    tuple(sorted(active))
-                ).search(buf, pos)
-                if match is None:
-                    pos = n
-                    break
-                pos = match.start()
-        if not quiet:
-            alive = len(active)
-            capturing(base + pos)
-            if len(active) > alive:
-                active.sort()
-
-        symbol = buf[pos]
-        pos += 1
-        next_active: list[int] = []
-        quiet = True
-        for state in active:
-            old_start = cur_start[state]
-            old_end = cur_end[state]
-            cur_start[state] = NIL
-            target = class_table[state][symbol]
-            if target < 0:
-                continue
-            target_start = pend_start[target]
-            if target_start == NIL:
-                pend_start[target] = old_start
-                pend_end[target] = old_end
-                next_active.append(target)
-                if quiet and not silent[target]:
-                    quiet = False
-            else:
-                end_cell = pend_end[target]
-                if end_cell >= 0:
-                    # Local end cell: splice exactly like the one-pass
-                    # engine (its next pointer must still be unset — a
-                    # non-NIL value, local id or placeholder, would be
-                    # non-NIL globally too).
-                    if cell_nexts[end_cell] != NIL:
-                        raise NotDeterministicError(
-                            "arena append would overwrite a next pointer; "
-                            "the compiled automaton is not deterministic"
-                        )
-                    cell_nexts[end_cell] = old_start
-                else:
-                    # The end cell lives in an earlier shard: defer the
-                    # one-pointer write to the stitcher.  Never index the
-                    # local array with a placeholder — Python's negative
-                    # indexing would silently wrap into a valid slot.
-                    if end_cell in fixups:
-                        raise NotDeterministicError(
-                            "arena append would overwrite a next pointer; "
-                            "the compiled automaton is not deterministic"
-                        )
-                    fixups[end_cell] = old_start
-                pend_end[target] = old_end
-        cur_start, pend_start = pend_start, cur_start
-        cur_end, pend_end = pend_end, cur_end
-        if len(next_active) > 1:
-            next_active.sort()
-        active = next_active
-        if not active:
-            break
-
-    final_entries: list[tuple[int, int, int]] = []
-    if is_last:
-        if active and not quiet:
-            alive = len(active)
-            capturing(base + n)
-            if len(active) > alive:
-                active.sort()
-        is_final = compiled.is_final
-        for state in active:
-            if is_final[state] and cur_start[state] != NIL:
-                final_entries.append((state, cur_start[state], cur_end[state]))
+    if is_first and tuple(entries) != (compiled.initial,):
+        raise EvaluationError(
+            "the first shard is entered at the compiled initial state, "
+            f"got entry set {tuple(entries)!r}"
+        )
+    (
+        active,
+        cur_start,
+        cur_end,
+        node_markers,
+        node_positions,
+        node_starts,
+        node_ends,
+        cell_nodes,
+        cell_nexts,
+        fixups,
+        final_entries,
+    ) = _replay_kernel(compiled, buf, n, base, entries, is_first, is_last, fast_path)
 
     exit_states = tuple(active)
     exit_pairs = [(cur_start[state], cur_end[state]) for state in active]
@@ -753,84 +544,9 @@ def _count_run(
     carrying count ``c`` is this vector scaled by ``c`` — the stitch in
     :func:`count_sharded` exploits exactly that superposition.
     """
-    num_states = compiled.num_states
-    counts = [0] * num_states
-    pending = [0] * num_states
-    variable_table = compiled.variable_table
-    class_table = compiled.class_table
-    silent = compiled.silent
-    use_patterns = fast_path and isinstance(buf, bytes)
-
-    counts[entry] = 1
-    active = [entry]
-    quiet = silent[entry]
-
-    def capturing() -> None:
-        snapshot = [
-            (state, counts[state]) for state in active if variable_table[state]
-        ]
-        for state, amount in snapshot:
-            for _set_id, target in variable_table[state]:
-                if counts[target] == 0:
-                    active.append(target)
-                counts[target] += amount
-
-    pos = 0
-    while pos < n:
-        if quiet and fast_path:
-            if len(active) == 1:
-                state = active[0]
-                amount = counts[state]
-                counts[state] = 0
-                state, pos = _sprint(compiled, buf, pos, n, state, use_patterns)
-                if state < 0:
-                    active = []
-                    break
-                counts[state] = amount
-                active[0] = state
-                quiet = silent[state]
-                if pos >= n:
-                    break
-            elif use_patterns:
-                match = compiled.sprint_pattern_multi(
-                    tuple(sorted(active))
-                ).search(buf, pos)
-                if match is None:
-                    pos = n
-                    break
-                pos = match.start()
-        if not quiet:
-            alive = len(active)
-            capturing()
-            if len(active) > alive:
-                active.sort()
-
-        symbol = buf[pos]
-        pos += 1
-        next_active: list[int] = []
-        quiet = True
-        for state in active:
-            amount = counts[state]
-            counts[state] = 0
-            if not amount:
-                continue
-            target = class_table[state][symbol]
-            if target < 0:
-                continue
-            if pending[target] == 0:
-                next_active.append(target)
-                if quiet and not silent[target]:
-                    quiet = False
-            pending[target] += amount
-        counts, pending = pending, counts
-        if len(next_active) > 1:
-            next_active.sort()
-        active = next_active
-        if not active:
-            break
-
-    if include_final and active and not quiet:
-        capturing()
+    active, counts = _count_entry_kernel(
+        compiled, buf, n, entry, include_final, fast_path
+    )
     return {state: counts[state] for state in active if counts[state]}
 
 

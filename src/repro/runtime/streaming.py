@@ -14,11 +14,13 @@ memory before emitting anything.  This module closes the gap with a
   C-level ``bytes.translate`` pass the whole-document engines use, just
   per chunk), so the evaluator never materializes a whole-document
   class-id buffer;
-* the per-position loop is the arena engine of
-  :func:`~repro.runtime.engine.evaluate_compiled_arena` verbatim — the
-  quiescent-run sprint included — with the live state (active set,
-  ``(start, end)`` slot pairs, the ``quiet`` flag and the arena arrays)
-  carried across chunk boundaries: a sprint interrupted by a chunk
+* the per-position loop is the arena kernel of
+  :mod:`repro.runtime.kernel` in its *resumable* flavour (the
+  ``chunking="resumable"`` spec point) — the same generated phases as
+  :func:`~repro.runtime.engine.evaluate_compiled_arena`, quiescent-run
+  sprint included, but with the live state (active set, ``(start, end)``
+  slot pairs, the ``quiet`` flag and the arena arrays) passed in and
+  handed back across chunk boundaries: a sprint interrupted by a chunk
   boundary resumes at C speed in the next chunk;
 * ``bytes`` chunks are decoded by an incremental UTF-8 decoder, so a
   multi-byte character split across two chunks is reassembled before it
@@ -66,11 +68,12 @@ from __future__ import annotations
 
 import codecs
 
-from repro.core.errors import EvaluationError, NotDeterministicError, StreamingError
+from repro.core.errors import EvaluationError, StreamingError
 from repro.core.mappings import Mapping
 from repro.runtime.compiled import CompiledEVA
 from repro.runtime.dag import NIL, CompiledResultDag
-from repro.runtime.engine import EvaluationScratch, _checked_scratch, _sprint
+from repro.runtime.engine import EvaluationScratch, _checked_scratch
+from repro.runtime.kernel import KernelSpec, build_final_capture, build_kernel
 
 __all__ = [
     "EMIT_MODES",
@@ -86,6 +89,15 @@ EMIT_MODES = ("on_finish", "incremental")
 #: streams never pay the rebuild and long streams amortize it to O(1)
 #: per retained cell.
 COMPACT_FLOOR_CELLS = 64
+
+# The chunk loop: the arena kernel in its resumable flavour — loop state
+# (active set, slot pairs, quiet flag, arena arrays) is passed in and
+# handed back instead of initialized/finalized per call — and the
+# stand-alone final capturing phase run once at finish().
+_advance_kernel = build_kernel(
+    KernelSpec(capture="arena", chunking="resumable", entry="states")
+)
+_final_capture = build_final_capture()
 
 
 def settled_sinks(compiled: CompiledEVA) -> frozenset[int]:
@@ -339,11 +351,24 @@ class StreamingEvaluator:
         compiled = self._compiled
         cur_start = self._cur_start
         cur_end = self._cur_end
-        if self._active and not self._quiet:
-            alive = len(self._active)
-            self._capturing(self._offset)
-            if len(self._active) > alive:
-                self._active.sort()
+        # The final capturing phase at the stream's end position — the
+        # same generated arena-capture fragment every whole-buffer kernel
+        # inlines, run stand-alone because a resumable kernel never
+        # finalizes (mutates the active list and arena in place).
+        _final_capture(
+            compiled,
+            cur_start,
+            cur_end,
+            self._active,
+            self._quiet,
+            self._node_markers,
+            self._node_positions,
+            self._node_starts,
+            self._node_ends,
+            self._cell_nodes,
+            self._cell_nexts,
+            self._offset,
+        )
         is_final = compiled.is_final
         final_entries = [
             (state, cur_start[state], cur_end[state])
@@ -430,144 +455,41 @@ class StreamingEvaluator:
                 "alphabet or use emit='on_finish'"
             )
 
-    def _capturing(self, position: int) -> None:
-        # Identical to the arena engine's capturing phase: the (start,
-        # end) snapshot is the paper's lazycopy, taken before additions.
-        cur_start = self._cur_start
-        cur_end = self._cur_end
-        variable_table = self._compiled.variable_table
-        node_markers = self._node_markers
-        node_positions = self._node_positions
-        node_starts = self._node_starts
-        node_ends = self._node_ends
-        cell_nodes = self._cell_nodes
-        cell_nexts = self._cell_nexts
-        active = self._active
-
-        snapshot = [
-            (state, cur_start[state], cur_end[state])
-            for state in active
-            if variable_table[state]
-        ]
-        for state, old_start, old_end in snapshot:
-            for set_id, target in variable_table[state]:
-                node = len(node_markers)
-                node_markers.append(set_id)
-                node_positions.append(position)
-                node_starts.append(old_start)
-                node_ends.append(old_end)
-                cell = len(cell_nodes)
-                cell_nodes.append(node)
-                target_start = cur_start[target]
-                cell_nexts.append(target_start)
-                if target_start == NIL:
-                    cur_end[target] = cell
-                    active.append(target)
-                cur_start[target] = cell
-
     def _advance(self, buf, n: int) -> None:
-        """The arena engine's main loop over one chunk.
+        """The resumable arena kernel over one chunk.
 
         ``pos`` is chunk-local; node positions add ``self._offset``.  All
-        loop state (active set, slot pairs, ``quiet``) lives on the
-        instance so the next chunk resumes exactly where this one
-        stopped — including mid-sprint.
+        loop state (active set, slot pairs, ``quiet``) is threaded
+        through the kernel call so the next chunk resumes exactly where
+        this one stopped — including mid-sprint; the arena arrays are
+        mutated in place.
         """
-        compiled = self._compiled
-        cur_start = self._cur_start
-        cur_end = self._cur_end
-        pend_start = self._pend_start
-        pend_end = self._pend_end
-        class_table = compiled.class_table
-        silent = compiled.silent
-        cell_nexts = self._cell_nexts
-        active = self._active
-        quiet = self._quiet
-        fast_path = self._fast_path
-        use_patterns = fast_path and isinstance(buf, bytes)
-        offset = self._offset
-
-        pos = 0
-        while pos < n:
-            if quiet and fast_path:
-                if len(active) == 1:
-                    state = active[0]
-                    start = cur_start[state]
-                    end = cur_end[state]
-                    cur_start[state] = NIL
-                    state, pos = _sprint(compiled, buf, pos, n, state, use_patterns)
-                    if state < 0:
-                        active = []
-                        break
-                    cur_start[state] = start
-                    cur_end[state] = end
-                    active[0] = state
-                    quiet = silent[state]
-                    if pos >= n:
-                        break
-                elif use_patterns:
-                    match = compiled.sprint_pattern_multi(
-                        tuple(sorted(active))
-                    ).search(buf, pos)
-                    if match is None:
-                        pos = n
-                        break
-                    pos = match.start()
-            if not quiet:
-                # Sync the instance view before capturing: the swaps
-                # below rebind the local array references, and capturing
-                # reads (and appends to) the instance state.
-                self._cur_start = cur_start
-                self._cur_end = cur_end
-                self._active = active
-                alive = len(active)
-                self._capturing(offset + pos)
-                active = self._active
-                if len(active) > alive:
-                    # Canonical live order, exactly as the arena engine.
-                    active.sort()
-
-            symbol = buf[pos]
-            pos += 1
-            next_active: list[int] = []
-            quiet = True
-            for state in active:
-                old_start = cur_start[state]
-                old_end = cur_end[state]
-                cur_start[state] = NIL
-                target = class_table[state][symbol]
-                if target < 0:
-                    continue
-                target_start = pend_start[target]
-                if target_start == NIL:
-                    pend_start[target] = old_start
-                    pend_end[target] = old_end
-                    next_active.append(target)
-                    if quiet and not silent[target]:
-                        quiet = False
-                else:
-                    end_cell = pend_end[target]
-                    if cell_nexts[end_cell] != NIL:
-                        raise NotDeterministicError(
-                            "arena append would overwrite a next pointer; the "
-                            "compiled automaton is not deterministic"
-                        )
-                    cell_nexts[end_cell] = old_start
-                    pend_end[target] = old_end
-            cur_start, pend_start = pend_start, cur_start
-            cur_end, pend_end = pend_end, cur_end
-            if len(next_active) > 1:
-                next_active.sort()
-            active = next_active
-            if not active:
-                break
-
-        self._cur_start = cur_start
-        self._cur_end = cur_end
-        self._pend_start = pend_start
-        self._pend_end = pend_end
-        self._active = active
-        self._quiet = quiet
+        (
+            self._cur_start,
+            self._cur_end,
+            self._pend_start,
+            self._pend_end,
+            self._active,
+            self._quiet,
+        ) = _advance_kernel(
+            self._compiled,
+            buf,
+            n,
+            self._offset,
+            self._cur_start,
+            self._cur_end,
+            self._pend_start,
+            self._pend_end,
+            self._active,
+            self._quiet,
+            self._node_markers,
+            self._node_positions,
+            self._node_starts,
+            self._node_ends,
+            self._cell_nodes,
+            self._cell_nexts,
+            self._fast_path,
+        )
 
     def _flush_settled(self) -> list[Mapping]:
         """Move settled-sink mappings out of the arena (incremental mode).

@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import re
 
-from repro.core.errors import CompilationError, NotDeterministicError
+from repro.core.errors import CompilationError
 from repro.automata.eva import ExtendedVA
 from repro.automata.markers import MarkerSet
 from repro.runtime.compiled import (
@@ -49,8 +49,9 @@ from repro.runtime.compiled import (
     marker_decode_tables_for,
     store_stop_pattern,
 )
-from repro.runtime.dag import NIL, CompiledResultDag
+from repro.runtime.dag import CompiledResultDag
 from repro.runtime.encoding import SymbolClassing
+from repro.runtime.kernel import KernelSpec, build_kernel, subset_sprint
 
 __all__ = ["CompiledSubsetEVA", "count_subset", "evaluate_subset_arena"]
 
@@ -321,45 +322,14 @@ class CompiledSubsetEVA:
         )
 
 
-def _sprint_subset(
-    subset_eva: CompiledSubsetEVA,
-    buf,
-    pos: int,
-    n: int,
-    subset_id: int,
-    use_patterns: bool,
-) -> tuple[int, int]:
-    """Advance a lone silent subset-run; mirrors the dense engine's sprint.
+# Back-compat alias: the subset sprint moved to the kernel module with
+# the kernel-spec refactor.
+_sprint_subset = subset_sprint
 
-    Returns ``(subset_id, pos)``; ``subset_id == NO_TARGET`` means the run
-    died at ``pos``, otherwise either the document is exhausted or the
-    subset is non-silent and a capturing phase is due.
-    """
-    silent = subset_eva.subset_silent
-    letter_successor = subset_eva.letter_successor
-    if use_patterns:
-        while True:
-            match = subset_eva.sprint_pattern(subset_id).search(buf, pos)
-            if match is None:
-                return subset_id, n
-            pos = match.start()
-            target = letter_successor(subset_id, buf[pos])
-            pos += 1
-            if target < 0:
-                return NO_TARGET, pos
-            subset_id = target
-            if pos >= n or not silent[subset_id]:
-                return subset_id, pos
-    while pos < n:
-        target = letter_successor(subset_id, buf[pos])
-        pos += 1
-        if target < 0:
-            return NO_TARGET, pos
-        if target != subset_id:
-            if not silent[target]:
-                return target, pos
-            subset_id = target
-    return subset_id, pos
+# The two subset-table kernels (dict-keyed slots in discovery order —
+# the ``tables="subset"`` spec points).
+_subset_arena_kernel = build_kernel(KernelSpec(capture="arena", tables="subset"))
+_subset_count_kernel = build_kernel(KernelSpec(capture="count", tables="subset"))
 
 
 def evaluate_subset_arena(
@@ -371,8 +341,10 @@ def evaluate_subset_arena(
     """Algorithm 1 over the lazily determinized automaton, arena output.
 
     The same loop as :func:`repro.runtime.engine.evaluate_compiled_arena`
-    — cached class-id buffer, skipped capturing phases while every live
-    subset is silent, single-run sprint — with per-subset ``(start, end)``
+    (the ``tables="subset"`` point of the kernel spec in
+    :mod:`repro.runtime.kernel`) — cached class-id buffer, skipped
+    capturing phases while every live subset is silent, single-run
+    sprint — with per-subset ``(start, end)``
     list pairs held in dicts keyed by subset id (the state space grows
     during evaluation, so there is no fixed-size scratch).  The subset
     automaton is deterministic by construction, so the lazy-list append
@@ -382,91 +354,15 @@ def evaluate_subset_arena(
     encoded = subset_eva.encode(document)
     buf = encoded.buffer
     n = encoded.length
-    use_patterns = fast_path and isinstance(buf, bytes)
-
-    node_markers: list[int] = []
-    node_positions: list[int] = []
-    node_starts: list[int] = []
-    node_ends: list[int] = []
-    cell_nodes: list[int] = [NIL]  # cell 0: the initial list [⊥]
-    cell_nexts: list[int] = [NIL]
-
-    variable_row = subset_eva.variable_row
-    letter_successor = subset_eva.letter_successor
-    silent = subset_eva.subset_silent
-
-    # lists[subset_id] = (start, end) pair of the live lazy list.
-    lists: dict[int, tuple[int, int]] = {subset_eva.initial: (0, 0)}
-    quiet = silent[subset_eva.initial]
-
-    def capturing(position: int) -> None:
-        for subset_id, (old_start, old_end) in list(lists.items()):
-            for set_id, target in variable_row(subset_id):
-                node = len(node_markers)
-                node_markers.append(set_id)
-                node_positions.append(position)
-                node_starts.append(old_start)
-                node_ends.append(old_end)
-                cell = len(cell_nodes)
-                cell_nodes.append(node)
-                current = lists.get(target)
-                cell_nexts.append(NIL if current is None else current[0])
-                lists[target] = (cell, cell if current is None else current[1])
-
-    pos = 0
-    while pos < n:
-        if quiet and fast_path:
-            if len(lists) == 1:
-                ((subset_id, pair),) = lists.items()
-                subset_id, pos = _sprint_subset(
-                    subset_eva, buf, pos, n, subset_id, use_patterns
-                )
-                if subset_id < 0:
-                    lists = {}
-                    break
-                lists = {subset_id: pair}
-                quiet = silent[subset_id]
-                if pos >= n:
-                    break
-            elif use_patterns:
-                match = subset_eva.sprint_pattern_multi(
-                    tuple(sorted(lists))
-                ).search(buf, pos)
-                if match is None:
-                    pos = n
-                    break
-                pos = match.start()
-        if not quiet:
-            capturing(pos)
-
-        symbol = buf[pos]
-        pos += 1
-        old_lists = lists
-        lists = {}
-        quiet = True
-        for subset_id, (old_start, old_end) in old_lists.items():
-            target = letter_successor(subset_id, symbol)
-            if target < 0:
-                continue
-            current = lists.get(target)
-            if current is None:
-                lists[target] = (old_start, old_end)
-                if quiet and not silent[target]:
-                    quiet = False
-            else:
-                end_cell = current[1]
-                if cell_nexts[end_cell] != NIL:
-                    raise NotDeterministicError(
-                        "arena append would overwrite a next pointer; the "
-                        "subset construction produced a non-deterministic row"
-                    )
-                cell_nexts[end_cell] = old_start
-                lists[target] = (current[0], old_end)
-        if not lists:
-            break
-
-    if lists and not quiet:
-        capturing(pos)
+    (
+        lists,
+        node_markers,
+        node_positions,
+        node_starts,
+        node_ends,
+        cell_nodes,
+        cell_nexts,
+    ) = _subset_arena_kernel(subset_eva, buf, n, fast_path)
 
     is_final = subset_eva.subset_is_final
     final_entries = [
@@ -505,65 +401,7 @@ def count_subset(
     encoded = subset_eva.encode(document)
     buf = encoded.buffer
     n = encoded.length
-    use_patterns = fast_path and isinstance(buf, bytes)
-
-    variable_row = subset_eva.variable_row
-    letter_successor = subset_eva.letter_successor
-    silent = subset_eva.subset_silent
-
-    counts: dict[int, int] = {subset_eva.initial: 1}
-    quiet = silent[subset_eva.initial]
-
-    def capturing() -> None:
-        for subset_id, amount in list(counts.items()):
-            for _set_id, target in variable_row(subset_id):
-                counts[target] = counts.get(target, 0) + amount
-
-    pos = 0
-    while pos < n:
-        if quiet and fast_path:
-            if len(counts) == 1:
-                ((subset_id, amount),) = counts.items()
-                subset_id, pos = _sprint_subset(
-                    subset_eva, buf, pos, n, subset_id, use_patterns
-                )
-                if subset_id < 0:
-                    return 0
-                counts = {subset_id: amount}
-                quiet = silent[subset_id]
-                if pos >= n:
-                    break
-            elif use_patterns:
-                match = subset_eva.sprint_pattern_multi(
-                    tuple(sorted(counts))
-                ).search(buf, pos)
-                if match is None:
-                    pos = n
-                    break
-                pos = match.start()
-        if not quiet:
-            capturing()
-
-        symbol = buf[pos]
-        pos += 1
-        previous = counts
-        counts = {}
-        quiet = True
-        for subset_id, amount in previous.items():
-            target = letter_successor(subset_id, symbol)
-            if target < 0:
-                continue
-            if target not in counts:
-                counts[target] = amount
-                if quiet and not silent[target]:
-                    quiet = False
-            else:
-                counts[target] += amount
-        if not counts:
-            return 0
-
-    if counts and not quiet:
-        capturing()
+    counts = _subset_count_kernel(subset_eva, buf, n, fast_path)
 
     is_final = subset_eva.subset_is_final
     return sum(amount for subset_id, amount in counts.items() if is_final[subset_id])

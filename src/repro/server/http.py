@@ -35,6 +35,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import math
 import signal
 import time
 from typing import Awaitable, Callable
@@ -337,7 +338,13 @@ class ReproServer:
                 writer,
                 429,
                 {"error": str(error), "retry_after": error.retry_after},
-                extra_headers={"Retry-After": str(int(error.retry_after) or 1)},
+                # Retry-After is delta-seconds; round *up* so a client
+                # honouring it never retries before the window reopens
+                # (int() truncated 0.8s to 0 and then "or 1" masked only
+                # the zero case, while 1.2s became a too-early 1).
+                extra_headers={
+                    "Retry-After": str(max(1, math.ceil(error.retry_after)))
+                },
             )
         except ReproError as error:
             return await self._respond_json(writer, 400, {"error": str(error)})

@@ -25,6 +25,7 @@ import json
 from repro import Spanner, StreamingError
 from repro.server import ReproServer, ServerConfig, SpannerService, StreamClient
 from repro.server.client import fetch_json
+from repro.server.service import AdmissionError
 
 from harness import adversarial_chunkings, adversarial_documents
 
@@ -195,7 +196,11 @@ class TestAdmissionControl:
             third = await StreamClient.open(host, server.port, PATTERN, alphabet="ab")
             assert third.status == 429
             assert "session cap" in third.error_body["error"]
-            assert "retry-after" in third.headers
+            # The default AdmissionError carries retry_after=1.0: the header
+            # must be exactly its integer form, and the machine-readable
+            # value rides in the body.
+            assert third.headers["retry-after"] == "1"
+            assert third.error_body["retry_after"] == 1.0
             assert service.metrics.snapshot()["sessions"]["rejected"] == 1
 
             # Finishing one session frees its admission slot.
@@ -208,6 +213,32 @@ class TestAdmissionControl:
             await retry.close()
             await second.close()
             assert service.active_sessions == 0
+
+    def test_retry_after_header_rounds_up(self):
+        # Retry-After is delta-seconds: a fractional backoff must round
+        # *up* (0.3s -> "1", 1.2s -> "2"), never truncate to a header
+        # that invites retrying before the window reopens.
+        config = ServerConfig(port=0, max_sessions=2)
+
+        @serve(config)
+        async def _(server, service):
+            host = server.config.host
+            for backoff, expected in [(0.3, "1"), (1.0, "1"), (1.2, "2"), (4.0, "4")]:
+
+                def reject(request, _backoff=backoff):
+                    raise AdmissionError("session cap reached", retry_after=_backoff)
+
+                original = service.open_session
+                service.open_session = reject
+                try:
+                    client = await StreamClient.open(
+                        host, server.port, PATTERN, alphabet="ab"
+                    )
+                finally:
+                    service.open_session = original
+                assert client.status == 429
+                assert client.headers["retry-after"] == expected, backoff
+                assert client.error_body["retry_after"] == backoff
 
     def test_session_byte_cap_surfaces_in_band(self):
         config = ServerConfig(port=0, max_session_bytes=8)

@@ -74,6 +74,51 @@ class TestSpansAndSearch:
         assert lines[0] == (Span(0, 2), "ab")
         assert lines[1] == (Span(3, 5), "cd")
 
+    def test_lines_crlf(self):
+        # \r\n used to leave the \r in both the text and the span.
+        doc = Document("ab\r\ncd\r\n")
+        assert list(doc.lines()) == [
+            (Span(0, 2), "ab"),
+            (Span(4, 6), "cd"),
+        ]
+
+    def test_lines_bare_carriage_return(self):
+        doc = Document("ab\rcd")
+        assert list(doc.lines()) == [
+            (Span(0, 2), "ab"),
+            (Span(3, 5), "cd"),
+        ]
+
+    def test_lines_vertical_tab_and_form_feed(self):
+        # Every terminator str.splitlines recognizes ends a line and is
+        # excluded from the yielded text and span.
+        doc = Document("a\x0bb\x0cc")
+        assert list(doc.lines()) == [
+            (Span(0, 1), "a"),
+            (Span(2, 3), "b"),
+            (Span(4, 5), "c"),
+        ]
+
+    def test_lines_no_trailing_newline(self):
+        doc = Document("ab\ncd")
+        assert list(doc.lines()) == [
+            (Span(0, 2), "ab"),
+            (Span(3, 5), "cd"),
+        ]
+
+    def test_lines_empty_document(self):
+        assert list(Document("").lines()) == []
+
+    def test_lines_spans_slice_back_to_content(self):
+        # The yielded span must address exactly the yielded text in the
+        # original document, whatever terminator ended the line.
+        text = "one\r\ntwo\rthree\x0bfour\x0cfive\nsix"
+        doc = Document(text)
+        lines = list(doc.lines())
+        assert [content for _span, content in lines] == text.splitlines()
+        for span, content in lines:
+            assert text[span.begin : span.end] == content
+
 
 class TestEqualityAndHelpers:
     def test_equality_with_string(self):

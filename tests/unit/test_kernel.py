@@ -1,0 +1,135 @@
+"""Unit tests for the parameterized kernel spec (:mod:`repro.runtime.kernel`).
+
+Two concerns live here:
+
+* the spec machinery itself — axis validation, normalization, the build
+  cache, source introspection and the single-definition kernel axis; and
+* degenerate documents (empty, single character) driven through
+  :func:`harness.assert_all_engines_agree`, which since the refactor
+  routes every engine × kernel × shard combination through generated
+  kernels — exactly the inputs where an extracted loop's entry and final
+  capture edges are most likely to drift from the originals.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import EvaluationError
+from repro.runtime import runlength
+from repro.runtime.kernel import (
+    CAPTURE_MODES,
+    KERNELS,
+    SUPPORTED_SPECS,
+    KernelSpec,
+    build_final_capture,
+    build_kernel,
+    kernel_source,
+)
+from repro.runtime.plan import KERNEL_CHOICES
+
+from harness import assert_all_engines_agree
+
+PATTERNS = [
+    "x{a*b}",
+    ".*x{a+b}.*",
+    ".*x{a}.*y{b}.*",
+]
+
+
+class TestKernelSpec:
+    def test_defaults_describe_the_arena_engine(self):
+        spec = KernelSpec()
+        assert (spec.capture, spec.tables, spec.chunking) == (
+            "arena",
+            "dense",
+            "whole",
+        )
+        spec.validate()
+
+    @pytest.mark.parametrize(
+        "axis, value",
+        [
+            ("capture", "holographic"),
+            ("tables", "sparse"),
+            ("chunking", "mmap"),
+            ("emit", "eager"),
+            ("kernel", "auto"),  # planner-only value, not a loop kernel
+            ("entry", "resume"),
+        ],
+    )
+    def test_unknown_axis_value_raises(self, axis, value):
+        with pytest.raises(EvaluationError, match=f"unknown kernel-spec {axis}"):
+            KernelSpec(**{axis: value}).validate()
+
+    def test_unsupported_combination_raises(self):
+        # Each axis value is legal, but no engine ships this point.
+        with pytest.raises(EvaluationError, match="unsupported kernel-spec"):
+            KernelSpec(capture="frontier", tables="subset").validate()
+
+    def test_emit_normalizes_away(self):
+        incremental = KernelSpec(capture="arena", emit="incremental")
+        assert incremental.normalized() == KernelSpec(capture="arena")
+
+    def test_resumable_normalizes_to_states_entry(self):
+        spec = KernelSpec(capture="arena", chunking="resumable")
+        assert spec.normalized().entry == "states"
+
+    def test_supported_specs_are_normalized_and_buildable(self):
+        for spec in SUPPORTED_SPECS:
+            assert spec.normalized() == spec
+            kernel = build_kernel(spec)
+            assert callable(kernel)
+
+    def test_build_cache_returns_one_kernel_per_normalized_spec(self):
+        base = KernelSpec(capture="arena")
+        assert build_kernel(base) is build_kernel(base)
+        # emit is loop-invariant, so both emit modes share one kernel.
+        assert build_kernel(
+            KernelSpec(capture="arena", emit="incremental")
+        ) is build_kernel(base)
+        # Distinct loop-defining axes get distinct kernels.
+        assert build_kernel(KernelSpec(capture="count")) is not build_kernel(base)
+
+    def test_kernel_source_is_inspectable(self):
+        for spec in SUPPORTED_SPECS:
+            source = kernel_source(spec)
+            assert "def " in source
+            if spec.kernel == "scalar" and spec.capture != "frontier":
+                assert "while pos < n" in source
+            assert build_kernel(spec).__kernel_source__ == source
+
+    def test_capture_modes_generate_distinct_sources(self):
+        sources = {
+            capture: kernel_source(
+                KernelSpec(
+                    capture=capture,
+                    entry="states" if capture == "frontier" else "initial",
+                )
+            )
+            for capture in CAPTURE_MODES
+        }
+        assert len(set(sources.values())) == len(CAPTURE_MODES)
+
+    def test_final_capture_builder_is_cached(self):
+        assert build_final_capture() is build_final_capture()
+
+    def test_kernel_axis_is_defined_once(self):
+        # plan.KERNEL_CHOICES and runlength.KERNELS are the same object
+        # as kernel.KERNELS — the axis can no longer drift.
+        assert KERNEL_CHOICES is KERNELS
+        assert runlength.KERNELS is KERNELS
+        assert KERNELS == ("auto", "scalar", "runlength")
+
+
+class TestDegenerateDocuments:
+    """Empty and single-character documents across every generated route."""
+
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    def test_empty_document(self, pattern):
+        assert_all_engines_agree(pattern, "")
+
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    @pytest.mark.parametrize("char", ["a", "b", "z", "é"])
+    def test_single_character(self, pattern, char):
+        assert_all_engines_agree(pattern, char)

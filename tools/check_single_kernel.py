@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Lint: the Algorithm-1 position loop must live only in the kernel module.
+
+The kernel-spec refactor folded every engine's hand-written inner loop
+into the generated kernels of :mod:`repro.runtime.kernel`.  History shows
+the loops re-grow: an engine gains a "temporary" specialized copy of the
+capturing/reading alternation, the copies drift, and the bit-identity
+contract between engines quietly breaks.  This check fails CI the moment
+a raw position loop reappears outside the kernel module.
+
+Heuristic: a file under ``src/repro/`` (other than ``runtime/kernel.py``)
+is flagged when it contains all three signatures of a hand-written
+Algorithm-1 loop —
+
+* a position loop header (``while pos < n``),
+* a capturing-phase call (``capturing(``), and
+* a dense-table read (``class_table`` or ``letter_successor``).
+
+Any one of them alone is fine (helpers sprint, planners mention tables);
+together they only ever occur in an inlined inner loop.  Generated kernel
+*source* lives in string fragments inside the kernel module itself, which
+is exempt.
+
+Usage::
+
+    python tools/check_single_kernel.py [root]
+
+Exits 0 when clean, 1 with a per-file report otherwise.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+EXEMPT = ("runtime/kernel.py",)
+
+LOOP_HEADER = "while pos < n"
+CAPTURE_CALL = "capturing("
+TABLE_READS = ("class_table", "letter_successor")
+
+
+def violations(root: Path) -> list[str]:
+    flagged = []
+    for path in sorted((root / "src" / "repro").rglob("*.py")):
+        relative = path.relative_to(root).as_posix()
+        if relative.endswith(EXEMPT):
+            continue
+        text = path.read_text(encoding="utf-8")
+        if (
+            LOOP_HEADER in text
+            and CAPTURE_CALL in text
+            and any(read in text for read in TABLE_READS)
+        ):
+            flagged.append(relative)
+    return flagged
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parent.parent
+    flagged = violations(root)
+    if flagged:
+        print(
+            "Algorithm-1 position loop found outside repro/runtime/kernel.py "
+            "(engines must bind a KernelSpec instead of inlining the loop):"
+        )
+        for relative in flagged:
+            print(f"  {relative}")
+        return 1
+    print("single-kernel check: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
